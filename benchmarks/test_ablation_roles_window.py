@@ -1,0 +1,107 @@
+"""Ablation — origination vs. transit roles over a message-level window.
+
+The paper tracks "ASNs that appear in BGP paths" without separating
+roles and lists role-splitting as future work (§9).  This benchmark
+runs the role analysis over a message-level window and quantifies what
+an origin-only view would miss: the transit-only ASNs that never
+originate anything yet are operationally alive.
+
+A dedicated small world keeps the message-level materialization cheap;
+the window is long enough for stable counts.
+"""
+
+import pytest
+
+from repro.bgp import SyntheticBgpStream, sanitize
+from repro.core import Role, collect_role_activity, role_census
+from repro.lifetimes import daily_prefixes_from_elements, build_prefix_aware_lifetimes
+from repro.simulation import WorldSimulator, tiny
+from repro.timeline import from_iso
+
+from conftest import fmt_table
+
+WINDOW_START = from_iso("2014-03-01")
+WINDOW_END = from_iso("2014-03-21")
+
+_WORLD = None
+
+
+@pytest.fixture(scope="module")
+def window_elements():
+    global _WORLD
+    if _WORLD is None:
+        _WORLD = WorldSimulator(tiny(seed=8)).run()
+    world = _WORLD
+    stream = SyntheticBgpStream(
+        world.topology, world.collectors, world.announcements_for_day
+    )
+    return {
+        day: list(sanitize(stream.elements_for_day(day)))
+        for day in range(WINDOW_START, WINDOW_END + 1)
+    }
+
+
+def test_ablation_roles_window(benchmark, window_elements, record_result):
+    activities = benchmark(collect_role_activity, window_elements)
+    census = role_census(activities, WINDOW_START, WINDOW_END)
+    origin_view = {
+        asn for asn, a in activities.items() if a.origin_days
+    }
+    all_view = set(activities)
+    missed = all_view - origin_view
+
+    text = fmt_table(
+        ["role", "ASNs"],
+        [(role.value, census[role]) for role in Role],
+    )
+    text += (
+        f"\n\nASNs visible in paths: {len(all_view)}"
+        f"\nASNs an origin-only view would capture: {len(origin_view)}"
+        f"\nmissed by origin-only (transit-only): {len(missed)}"
+    )
+    record_result("ablation_roles_window", text)
+
+    # transit-only ASNs exist: an origin-only analysis undercounts
+    assert census[Role.TRANSIT_ONLY] > 0
+    assert missed == {
+        asn for asn, a in activities.items()
+        if a.role_over(WINDOW_START, WINDOW_END) is Role.TRANSIT_ONLY
+    }
+    # the transit-only population is the upper tiers, far smaller than
+    # the origin population (stubs dominate the Internet)
+    assert census[Role.TRANSIT_ONLY] < census[Role.ORIGIN_ONLY]
+    # mixed-role ASNs exist too: transits announcing their own space
+    assert census[Role.MIXED] > 0
+
+
+def test_ablation_prefix_aware_segmentation(benchmark, window_elements,
+                                            record_result):
+    """Prefix-aware segmentation (§8's refinement) agrees with the
+    plain timeout on stable announcers inside the window."""
+    from repro.lifetimes import segment_prefix_aware
+
+    daily = daily_prefixes_from_elements(window_elements)
+
+    def run():
+        return {
+            asn: segment_prefix_aware(asn, per_day, timeout=30)
+            for asn, per_day in daily.items()
+        }
+
+    lives = benchmark(run)
+    multi = sum(1 for v in lives.values() if len(v) > 1)
+    text = fmt_table(
+        ["metric", "value"],
+        [
+            ("announcing ASNs", len(lives)),
+            ("with >1 lifetime in window", multi),
+        ],
+    )
+    record_result("ablation_prefix_segmentation", text)
+    assert lives
+    # inside a short window with <=30d gaps, stable announcers (one
+    # constant prefix set) never fragment
+    for asn, segments in lives.items():
+        distinct = {s.prefixes for s in segments}
+        if len(distinct) == 1:
+            assert len(segments) == 1, asn

@@ -1,0 +1,54 @@
+"""Figure 10 — per-RIR quarterly ASN birth rate by registration date.
+
+Paper: allocations date back to 1992; a spike around 2000 marks the
+dot-com bubble; RIPE NCC changes pace around 2003; APNIC and LACNIC
+explode from 2014.
+"""
+
+from repro.core import quarterly_birth_rate
+
+from conftest import fmt_table
+
+
+def yearly(rates, registry):
+    out = {}
+    for (year, _q), count in rates.get(registry, {}).items():
+        out[year] = out.get(year, 0) + count
+    return out
+
+
+def test_fig10_birth_rate(benchmark, bundle, record_result):
+    rates = benchmark(quarterly_birth_rate, bundle.admin_lives)
+    years = sorted({y for per in rates.values() for (y, _q) in per})
+    rows = []
+    for year in years:
+        rows.append(
+            tuple([year] + [yearly(rates, r).get(year, 0)
+                            for r in sorted(rates)])
+        )
+    record_result(
+        "fig10_birth_rate", fmt_table(["year"] + sorted(rates), rows)
+    )
+
+    # births date back to the early 1990s (reg dates, Appendix A)
+    assert years[0] <= 1993
+    # the dot-com bubble: 1999-2001 births dwarf 1995-1997 births
+    def total(year_range):
+        return sum(
+            yearly(rates, registry).get(year, 0)
+            for registry in rates
+            for year in year_range
+        )
+    assert total(range(1999, 2002)) > 2 * total(range(1995, 1998))
+    # APNIC and LACNIC ramp after 2014
+    for registry in ("apnic", "lacnic"):
+        per_year = yearly(rates, registry)
+        late = sum(per_year.get(y, 0) for y in range(2015, 2020))
+        early = sum(per_year.get(y, 0) for y in range(2008, 2013))
+        assert late > 1.3 * early, registry
+    # RIPE NCC out-births ARIN across the window's core years
+    ripe = yearly(rates, "ripencc")
+    arin = yearly(rates, "arin")
+    assert sum(ripe.get(y, 0) for y in range(2006, 2014)) > sum(
+        arin.get(y, 0) for y in range(2006, 2014)
+    )

@@ -1,0 +1,52 @@
+"""Figure 11 — quarterly balance between ASN births and deaths.
+
+Paper: RIPE NCC's net allocation volume 2005-2013 is massive; around
+2017 APNIC's and LACNIC's net allocations exceed ARIN's; in the last
+three years APNIC/LACNIC gain ~4,000 net each vs ARIN's ~3,000 and
+RIPE NCC's ~4,400.
+"""
+
+from repro.core import quarterly_balance
+
+from conftest import fmt_table
+
+
+def net_over(balance, registry, year_range):
+    return sum(
+        count
+        for (year, _q), count in balance.get(registry, {}).items()
+        if year in year_range
+    )
+
+
+def test_fig11_balance(benchmark, bundle, record_result):
+    start, end = bundle.world.config.start_day, bundle.world.end_day
+    balance = benchmark(quarterly_balance, bundle.admin_lives, start, end)
+
+    periods = {
+        "2005-2013": range(2005, 2014),
+        "2014-2017": range(2014, 2018),
+        "2018-2021": range(2018, 2022),
+    }
+    rows = [
+        tuple([registry] + [net_over(balance, registry, years)
+                            for years in periods.values()])
+        for registry in sorted(balance)
+    ]
+    record_result(
+        "fig11_balance", fmt_table(["RIR"] + list(periods), rows)
+    )
+
+    # RIPE's 2005-2013 net growth dominates everyone
+    ripe_core = net_over(balance, "ripencc", range(2005, 2014))
+    for registry in balance:
+        if registry != "ripencc":
+            assert ripe_core > net_over(balance, registry, range(2005, 2014))
+    # around 2017 APNIC and LACNIC net allocations exceed ARIN's
+    late = range(2017, 2021)
+    arin_late = net_over(balance, "arin", late)
+    assert net_over(balance, "apnic", late) > arin_late
+    assert net_over(balance, "lacnic", late) > arin_late
+    # every registry has positive net growth overall
+    for registry in balance:
+        assert net_over(balance, registry, range(2004, 2022)) > 0

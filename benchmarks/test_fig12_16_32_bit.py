@@ -1,0 +1,59 @@
+"""Figure 12 — 16- vs 32-bit allocated ASNs per day per RIR.
+
+Paper: 32-bit allocations start in 2007 (one RIPE NCC delegation in
+Dec 2006); ARIN ramps up 32-bit only around 2014, years after RIPE
+NCC, APNIC and LACNIC, and still makes ~30% of its 2020 allocations
+from the 16-bit pool, versus 1-1.7% at the younger registries.
+"""
+
+from repro.asn import is_16bit
+from repro.core import bit_class_counts
+from repro.timeline import day as mkday
+
+from conftest import fmt_table
+
+
+def test_fig12_16_32_bit(benchmark, bundle, record_result):
+    start, end = bundle.world.config.start_day, bundle.world.end_day
+    per = benchmark(bit_class_counts, bundle.admin_lives, start, end)
+
+    probe_days = [mkday(y, 6, 1) for y in (2006, 2009, 2012, 2015, 2018)]
+    probe_days.append(end)
+    rows = []
+    for registry in sorted(per):
+        for cls in ("16", "32"):
+            series = per[registry][cls]
+            rows.append(
+                tuple([f"{registry}_{cls}"] + [series.at(d) for d in probe_days])
+            )
+    headers = ["series"] + [str(d) for d in (2006, 2009, 2012, 2015, 2018, "end")]
+    record_result("fig12_16_32_bit", fmt_table(headers, rows))
+
+    # no 32-bit allocations before 2007 (except RIPE's late-2006 one)
+    before_2007 = mkday(2006, 11, 1)
+    for registry in per:
+        assert per[registry]["32"].at(before_2007) == 0, registry
+    # by the end, 32-bit stocks are large at the younger registries
+    for registry in ("apnic", "lacnic"):
+        assert per[registry]["32"].final() > per[registry]["32"].at(mkday(2012, 1, 1))
+    # ARIN lags: in 2012 its 32-bit stock is a much smaller multiple of
+    # its 2009 stock than APNIC's
+    arin_12 = per["arin"]["32"].at(mkday(2012, 6, 1))
+    apnic_12 = per["apnic"]["32"].at(mkday(2012, 6, 1))
+    assert apnic_12 > arin_12
+    # ARIN retains by far the largest 16-bit stock at the end (its
+    # historical mass plus its continued 16-bit allocations)
+    finals_16 = {r: per[r]["16"].final() for r in per}
+    assert finals_16["arin"] == max(finals_16.values())
+
+    # late-window new allocations: ARIN's 16-bit share ~30%, younger
+    # registries' ~1-2% (§5)
+    recent = {r: {"16": 0, "32": 0} for r in per}
+    for lives in bundle.admin_lives.values():
+        for life in lives:
+            if life.start >= mkday(2018, 1, 1):
+                recent[life.registry]["16" if is_16bit(life.asn) else "32"] += 1
+    arin_share = recent["arin"]["16"] / max(1, sum(recent["arin"].values()))
+    apnic_share = recent["apnic"]["16"] / max(1, sum(recent["apnic"].values()))
+    assert arin_share > 0.15  # paper: ~30%
+    assert apnic_share < 0.08  # paper: ~1%

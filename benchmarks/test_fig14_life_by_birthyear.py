@@ -1,0 +1,54 @@
+"""Figure 14 — administrative life duration by birth year, per RIR.
+
+Paper: early cohorts differ a lot across registries, but from around
+2010 life expectancy looks similar for all RIRs; recent cohorts are
+right-censored by the window end (the boxplots shrink toward 2021).
+"""
+
+import numpy as np
+
+from repro.core import duration_by_birth_year
+
+from conftest import fmt_table
+
+
+def test_fig14_life_by_birthyear(benchmark, bundle, record_result):
+    grouped = benchmark(duration_by_birth_year, bundle.admin_lives)
+
+    years = [2005, 2008, 2011, 2014, 2017, 2020]
+    rows = []
+    for registry in sorted(grouped):
+        medians = []
+        for year in years:
+            values = grouped[registry].get(year, [])
+            medians.append(int(np.median(values)) if values else "-")
+        rows.append(tuple([registry] + medians))
+    record_result(
+        "fig14_life_by_birthyear",
+        fmt_table(["RIR"] + [str(y) for y in years], rows),
+    )
+
+    # right-censoring: the 2020 cohort's max duration is bounded by the
+    # remaining window, the 2008 cohort's is not
+    for registry, per_year in grouped.items():
+        if 2020 in per_year and 2008 in per_year:
+            assert max(per_year[2020]) < max(per_year[2008])
+
+    # from ~2012 the registries' cohort medians converge: relative
+    # spread of the per-RIR medians is below 2x for most probe years
+    converged = 0
+    for year in (2012, 2014, 2016):
+        medians = [
+            float(np.median(per_year[year]))
+            for per_year in grouped.values()
+            if year in per_year and len(per_year[year]) >= 10
+        ]
+        if len(medians) >= 3 and max(medians) < 2.5 * min(medians):
+            converged += 1
+    assert converged >= 2
+
+    # allocation counts per year exist for every registry after its
+    # founding (the bottom panel of Fig. 14)
+    for registry, per_year in grouped.items():
+        first_year = 2006 if registry == "afrinic" else 2005
+        assert any(year >= first_year for year in per_year)

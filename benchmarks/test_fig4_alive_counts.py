@@ -1,0 +1,69 @@
+"""Figures 4 and 13 — daily alive ASNs, administrative vs BGP.
+
+Paper: RIPE NCC grows fastest and passes ARIN in 2012 administratively
+but already in 2009 operationally; a large and growing gap separates
+the overall allocated and BGP-visible counts (~28% of allocated ASNs
+not in BGP by March 2021).
+"""
+
+from repro.core import (
+    alive_bgp_counts_by_registry,
+    alive_counts,
+    alive_counts_by_registry,
+    crossover_day,
+)
+from repro.timeline import to_iso, year_of
+
+from conftest import fmt_table
+
+
+def build_series(bundle):
+    start, end = bundle.world.config.start_day, bundle.world.end_day
+    return {
+        "admin": alive_counts_by_registry(bundle.admin_lives, start, end),
+        "bgp": alive_bgp_counts_by_registry(
+            bundle.admin_lives, bundle.op_lives, start, end
+        ),
+        "overall_admin": alive_counts(bundle.admin_lives, start, end),
+        "overall_bgp": alive_counts(bundle.op_lives, start, end),
+    }
+
+
+def test_fig4_alive_counts(benchmark, bundle, record_result):
+    series = benchmark(build_series, bundle)
+    admin, bgp = series["admin"], series["bgp"]
+
+    sample_days = [admin["arin"].start + i * 730 for i in range(9)]
+    rows = []
+    for day in sample_days:
+        row = [to_iso(day)]
+        for registry in sorted(admin):
+            row.append(admin[registry].at(day))
+            row.append(bgp[registry].at(day) if registry in bgp else 0)
+        rows.append(tuple(row))
+    headers = ["day"]
+    for registry in sorted(admin):
+        headers += [f"{registry}", f"{registry}-bgp"]
+    record_result("fig4_alive_counts", fmt_table(headers, rows))
+
+    # RIPE passes ARIN in both dimensions, earlier operationally
+    admin_cross = crossover_day(admin["ripencc"], admin["arin"])
+    bgp_cross = crossover_day(bgp["ripencc"], bgp["arin"])
+    assert admin_cross is not None and bgp_cross is not None
+    assert bgp_cross < admin_cross
+    assert year_of(bgp_cross) < year_of(admin_cross) + 1
+
+    # the allocated-vs-BGP gap is large and positive at the end
+    overall_admin = series["overall_admin"].final()
+    overall_bgp = series["overall_bgp"].final()
+    gap_share = (overall_admin - overall_bgp) / overall_admin
+    assert 0.10 < gap_share < 0.40  # paper: ~28%
+
+    # every registry grows over the window
+    for registry, s in admin.items():
+        assert s.final() > s.at(s.start + 365)
+
+    # final-size ordering: RIPE NCC largest, AfriNIC smallest (Fig. 4)
+    finals = {registry: s.final() for registry, s in admin.items()}
+    assert finals["ripencc"] == max(finals.values())
+    assert finals["afrinic"] == min(finals.values())

@@ -1,0 +1,54 @@
+"""§6.2 — partial overlaps: dangling announcements and late allocations.
+
+Paper: 4,434 partial-overlap admin lives (3.4%); 2,840 (64%) are
+dangling announcements past deallocation, mostly from networks with no
+customers (95% empty customer cone); 1,594 ASNs start announcing
+before allocation, 631 even before their registration date.
+"""
+
+from repro.core import analyze_partial_overlaps
+
+from conftest import fmt_table
+
+
+def test_sec62_partial_overlap(benchmark, bundle, record_result):
+    stats = benchmark(
+        analyze_partial_overlaps,
+        bundle.admin_lives,
+        bundle.op_lives,
+        topology=bundle.world.topology,
+    )
+    import numpy as np
+
+    tail_median = float(np.median(stats.dangling_tail_days)) if stats.dangling_tail_days else 0
+    early_median = float(np.median(stats.early_start_days)) if stats.early_start_days else 0
+    text = fmt_table(
+        ["metric", "value"],
+        [
+            ("partial-overlap admin lives", stats.partial_admin_lives),
+            ("dangling lives", stats.dangling_lives),
+            ("dangling share", f"{stats.dangling_share:.1%}"),
+            ("median dangling tail (days)", f"{tail_median:.0f}"),
+            ("stub share of dangling ASNs", f"{stats.stub_share_of_dangling():.1%}"),
+            ("early-start lives", stats.early_start_lives),
+            ("median early start (days)", f"{early_median:.0f}"),
+            ("starting before reg date", len(stats.before_reg_date_asns)),
+        ],
+    )
+    record_result("sec62_partial_overlap", text)
+
+    total = bundle.joint.total_admin_lifetimes()
+    # partial overlap is a small category (paper: 3.4%)
+    assert 0.01 < stats.partial_admin_lives / total < 0.08
+    # dangling dominates the category (paper: 64%)
+    assert stats.dangling_share > 0.40
+    # dangling ASNs are predominantly stubs (paper: 95% no customers;
+    # our dangling lives draw uniformly from a topology that is ~85%
+    # stubs, so the share sits slightly lower)
+    assert stats.stub_share_of_dangling() > 0.6
+    # early starts are short (publication lag of days, not months)
+    assert 0 < early_median < 30
+    # a subset starts even before the registration date (paper: 631)
+    assert 0 < len(stats.before_reg_date_asns) <= stats.early_start_lives
+    # dangling tails last months (paper: ASNs staying in BGP up to ~2y)
+    assert tail_median > 30

@@ -1,0 +1,52 @@
+"""Table 1 — delegation-file inventory per RIR.
+
+Paper: first regular file 2003-10-09 (APNIC) .. 2005-02-18 (AfriNIC),
+first extended file 2008-02-14 (APNIC) .. 2013-03-05 (ARIN), and
+5,791-6,345 files per registry over the window.
+"""
+
+from repro.rir import EXTENDED, FIRST_EXTENDED_FILE, FIRST_REGULAR_FILE, REGULAR
+from repro.timeline import to_iso
+
+from conftest import fmt_table
+
+
+def build_table(bundle):
+    rows = []
+    for registry in bundle.archive.registries():
+        rows.append(
+            (
+                registry,
+                to_iso(bundle.archive.window((registry, REGULAR)).first_day),
+                to_iso(bundle.archive.window((registry, EXTENDED)).first_day),
+                bundle.archive.day_count(registry),
+            )
+        )
+    return rows
+
+
+def test_table1_file_inventory(benchmark, bundle, record_result):
+    rows = benchmark(build_table, bundle)
+    text = fmt_table(
+        ["RIR", "first regular", "first extended", "files"], rows
+    )
+    record_result("table1_archives", text)
+
+    by_registry = {r[0]: r for r in rows}
+    # publication start dates are the historical constants
+    assert by_registry["apnic"][1] == "2003-10-09"
+    assert by_registry["afrinic"][1] == "2005-02-18"
+    assert by_registry["arin"][2] == "2013-03-05"
+    assert by_registry["ripencc"][2] == "2010-04-22"
+    # day coverage: AfriNIC smallest (shortest window), all in the
+    # paper's 5,791-6,345 band
+    counts = {r[0]: r[3] for r in rows}
+    assert counts["afrinic"] == min(counts.values())
+    assert all(5500 < c < 6400 for c in counts.values())
+    # <1% of days missing (§3.1)
+    for registry in bundle.archive.registries():
+        for kind in (REGULAR, EXTENDED):
+            window = bundle.archive.window((registry, kind))
+            missing = len(bundle.archive.unavailable_days((registry, kind)))
+            span = window.last_day - window.first_day + 1
+            assert missing / span < 0.01

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Message-level forensics of never-allocated origins (§6.4).
+
+The §6.4 analysis finds 868 ASNs in BGP that no RIR ever delegated and
+manually classifies them: 76% failed AS-path prepends, 24% one-digit
+typos causing MOAS conflicts, plus huge internal ASNs leaking through
+large operators.  This example drives the same investigation on the
+message level: stream a day of synthetic RIB data through the
+sanitizer, pull AS-path evidence for each suspect origin, and let the
+classifier explain it.
+
+Run:  python examples/misconfig_forensics.py
+"""
+
+from collections import Counter
+
+from repro.bgp import SyntheticBgpStream, sanitize, SanitizeStats
+from repro.core import (
+    MisconfigClass,
+    classify_suspect,
+    collect_path_evidence,
+)
+from repro.simulation import WorldConfig, WorldSimulator
+from repro.timeline import to_iso
+
+
+def main() -> None:
+    world = WorldSimulator(WorldConfig(seed=21, scale=0.02)).run()
+    suspects_truth = {
+        e.origin: e.kind
+        for e in world.events
+        if e.kind in ("fat_finger_prepend", "fat_finger_digit",
+                      "internal_leak", "noise_origin")
+    }
+    print(f"{len(suspects_truth)} never-allocated origins planted "
+          "(paper finds 868 over 17 years)")
+
+    stream = SyntheticBgpStream(
+        world.topology, world.collectors, world.announcements_for_day
+    )
+
+    # pick investigation days: one per distinct event kind
+    days = {}
+    for event in world.events:
+        if event.origin in suspects_truth:
+            days.setdefault(event.kind, event.interval.start)
+
+    verdicts = Counter()
+    details = []
+    for kind, day in sorted(days.items()):
+        stats = SanitizeStats()
+        elements = list(sanitize(stream.elements_for_day(day), stats))
+        active_suspects = {
+            e.origin
+            for e in world.events
+            if e.origin in suspects_truth and e.active_on(day)
+        }
+        evidence = collect_path_evidence(elements, active_suspects)
+        for origin, ev in sorted(evidence.items()):
+            verdict = classify_suspect(ev)
+            verdicts[verdict] += 1
+            details.append((day, origin, suspects_truth[origin], verdict, ev))
+
+    print("\n=== Classifier verdicts vs. planted truth ===")
+    for day, origin, truth, verdict, ev in details:
+        mark = "✓" if verdict == truth or (
+            truth == "noise_origin" and verdict == MisconfigClass.UNEXPLAINED
+        ) else "✗"
+        hops = ",".join(f"AS{h}" for h in ev.first_hops) or "-"
+        print(f"  {mark} {to_iso(day)}  AS{origin}: truth={truth:20s} "
+              f"verdict={verdict:20s} first-hop={hops}")
+
+    print("\n=== Verdict distribution ===")
+    for verdict, count in verdicts.most_common():
+        print(f"  {verdict:22s} {count}")
+
+    # show one piece of raw evidence, the way a human analyst reads it
+    leak = next((d for d in details if d[2] == "internal_leak"), None)
+    if leak is not None:
+        _, origin, _, _, ev = leak
+        print(f"\n=== Raw evidence for AS{origin} (internal leak) ===")
+        print(f"  announced prefixes : {[str(p) for p in ev.prefixes]}")
+        print(f"  first hops         : {ev.first_hops}")
+        print(f"  covering origins   : {ev.covering_origins} "
+              "(a large operator announces the covering aggregate —")
+        print("                        the AS290012147-inside-Verizon "
+              "pattern of §6.4)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Per-RIR longitudinal trends (§5, Fig. 4): the bird's-eye view.
+
+Reproduces the macro findings: RIPE NCC overtakes ARIN earlier in the
+operational dimension (2009 in the paper) than in the administrative
+one (2012); a large and growing share of allocated ASNs never shows up
+in BGP; and the registries reuse AS numbers at very different rates.
+
+Run:  python examples/rir_trends.py
+"""
+
+from repro.core import (
+    alive_bgp_counts_by_registry,
+    alive_counts,
+    alive_counts_by_registry,
+    crossover_day,
+    lives_per_asn_table,
+)
+from repro.simulation import WorldConfig, build_datasets
+from repro.timeline import to_iso, year_of
+
+
+def main() -> None:
+    config = WorldConfig(seed=4, scale=0.03)
+    bundle = build_datasets(config)
+    start, end = config.start_day, config.end_day
+
+    admin_series = alive_counts_by_registry(bundle.admin_lives, start, end)
+    bgp_series = alive_bgp_counts_by_registry(
+        bundle.admin_lives, bundle.op_lives, start, end
+    )
+
+    print("=== Alive ASNs on the last day (cf. Fig. 4 right edge) ===")
+    print(f"  {'registry':10s} {'allocated':>10s} {'in BGP':>8s} {'gap':>6s}")
+    for registry in sorted(admin_series):
+        admin = admin_series[registry].final()
+        bgp = bgp_series.get(registry)
+        bgp_n = bgp.final() if bgp else 0
+        print(f"  {registry:10s} {admin:10d} {bgp_n:8d} {admin - bgp_n:6d}")
+
+    overall_admin = alive_counts(bundle.admin_lives, start, end)
+    overall_bgp = alive_counts(bundle.op_lives, start, end)
+    gap = overall_admin.final() - overall_bgp.final()
+    print(f"\nOverall gap on {to_iso(end)}: {gap} allocated ASNs not in BGP "
+          f"({gap / overall_admin.final():.0%}; paper: ~28%)")
+
+    print("\n=== RIPE NCC vs ARIN crossover (cf. §5) ===")
+    if "ripencc" in admin_series and "arin" in admin_series:
+        admin_cross = crossover_day(admin_series["ripencc"], admin_series["arin"])
+        bgp_cross = crossover_day(bgp_series["ripencc"], bgp_series["arin"])
+        fmt = lambda d: f"{year_of(d)} ({to_iso(d)})" if d else "never"
+        print(f"  administrative: RIPE NCC passes ARIN in {fmt(admin_cross)} "
+              "(paper: 2012)")
+        print(f"  operational:    RIPE NCC passes ARIN in {fmt(bgp_cross)} "
+              "(paper: 2009)")
+        if admin_cross and bgp_cross:
+            print(f"  -> the operational lens sees the shift "
+                  f"{(admin_cross - bgp_cross) / 365:.1f} years earlier")
+
+    print("\n=== Re-allocation behavior (cf. Table 2, Adm.) ===")
+    table = lives_per_asn_table(bundle.admin_lives, bundle.registry_of())
+    print(f"  {'registry':10s} {'1 life':>8s} {'2 lives':>8s} {'>2':>6s}")
+    for registry, row in table.items():
+        print(f"  {registry:10s} {row['1']:8.1%} {row['2']:8.1%} "
+              f"{row['>2']:6.1%}")
+    print("  (paper: ARIN and RIPE NCC re-allocate significantly more)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Hunting squatted dormant ASNs (§6.1.2), Fig. 8 style.
+
+The workload the paper's introduction motivates: malicious actors
+originate prefixes from long-dormant (but allocated) AS numbers to stay
+under the radar.  The joint admin/BGP lens makes them stand out: a
+burst of activity after >1000 days of allocated silence, tiny relative
+to the administrative life.
+
+This example runs the detector over a simulated world, scores it
+against the injected ground truth, and prints a textual Fig. 8: the
+daily prefix-origination counts of the squatted ASNs around their
+awakening.
+
+Run:  python examples/squatting_hunt.py
+"""
+
+from repro.bgp import MALICIOUS_KINDS, SQUAT_DORMANT
+from repro.simulation import WorldConfig, build_datasets
+from repro.timeline import to_iso
+
+
+def sparkline(values, width: int = 60) -> str:
+    """Render a list of counts as a coarse text sparkline."""
+    if not values:
+        return ""
+    blocks = " ▁▂▃▄▅▆▇█"
+    top = max(values) or 1
+    step = max(1, len(values) // width)
+    sampled = [max(values[i : i + step]) for i in range(0, len(values), step)]
+    return "".join(blocks[min(8, int(v / top * 8))] for v in sampled)
+
+
+def main() -> None:
+    bundle = build_datasets(WorldConfig(seed=7, scale=0.02))
+    joint = bundle.joint
+    world = bundle.world
+
+    candidates = joint.squatting_candidates
+    score = joint.squatting_score()
+    print(f"Detector flagged {len(candidates)} operational lives "
+          "(paper: 3,051 matches, 76 confirmed)")
+    print(f"ground-truth squats: {int(score['truth_events'])}, "
+          f"recall {score['recall']:.0%}, precision {score['precision']:.0%}")
+    print("(low precision is expected: legitimate irregular behavior — "
+          "conference networks, traffic engineering — matches the filter too)")
+
+    truth = [e for e in world.events if e.kind == SQUAT_DORMANT]
+    print(f"\n=== Fig. 8: prefixes originated by awakened ASNs ===")
+    for event in truth[:6]:
+        lo = max(event.interval.start - 30, world.config.start_day)
+        hi = min(event.interval.end + 30, world.config.end_day)
+        series = [
+            len(event.prefixes) if day in event.interval else 0
+            for day in range(lo, hi + 1)
+        ]
+        factory = event.announcer
+        print(f"\nAS{event.origin}  (upstream: AS{factory}, a known "
+              "'hijack factory' pattern)")
+        print(f"  window {to_iso(lo)} .. {to_iso(hi)}, "
+              f"{len(event.prefixes)} prefixes at peak")
+        print(f"  {sparkline(series)}")
+
+    print("\n=== The compound-lens signature ===")
+    by_asn = {c.asn: c for c in candidates}
+    confirmed = [by_asn[e.origin] for e in truth if e.origin in by_asn]
+    for candidate in confirmed[:6]:
+        admin_days = candidate.admin_end - candidate.admin_start + 1
+        print(f"AS{candidate.asn}: allocated {admin_days} days, "
+              f"dormant {candidate.dormancy_days} days, then active only "
+              f"{candidate.op_duration} days "
+              f"({candidate.relative_duration:.1%} of the admin life)")
+
+    malicious = [e for e in world.events if e.kind in MALICIOUS_KINDS]
+    print(f"\nTotal malicious events in ground truth: {len(malicious)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — reproduction of "The parallel lives of Autonomous Systems:
+ASN Allocations vs. BGP" (IMC 2021).
+
+The package reconstructs, over a simulated 17-year window, the
+administrative lives of AS numbers (from RIR delegation files) and
+their operational lives (from BGP collector data), then joins the two
+"parallel lives" exactly as the paper does.
+
+Subpackages
+-----------
+``timeline``     day ordinals and interval algebra
+``asn``          AS-number types, bogons, IANA block ledger
+``net``          IP prefixes
+``rir``          delegation-file formats, RIR registry state machines
+``bgp``          AS topology, route propagation, collectors, sanitization
+``restoration``  the six-step delegation-archive restoration (§3.1)
+``lifetimes``    administrative (§4.1) and operational (§4.2) lifetimes
+``core``         the joint analysis: taxonomy, trends, anomaly detectors
+``simulation``   the synthetic Internet that substitutes for RIR/BGP feeds
+"""
+
+__version__ = "1.0.0"
+
+# Convenience re-exports: the handful of names that cover the common
+# "simulate → analyze" workflow without deep imports.
+from .core.joint import JointAnalysis
+from .core.report import render_report
+from .lifetimes.io import (
+    dump_admin_dataset,
+    dump_bgp_dataset,
+    load_admin_dataset,
+    load_bgp_dataset,
+)
+from .simulation.config import WorldConfig
+from .simulation.datasets import DatasetBundle, build_datasets
+
+__all__ = [
+    "__version__",
+    "WorldConfig",
+    "build_datasets",
+    "DatasetBundle",
+    "JointAnalysis",
+    "render_report",
+    "dump_admin_dataset",
+    "dump_bgp_dataset",
+    "load_admin_dataset",
+    "load_bgp_dataset",
+]

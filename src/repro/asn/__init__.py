@@ -1,0 +1,47 @@
+"""AS-number substrate: value type, special-use registry, IANA blocks."""
+
+from .blocks import BLOCK_SIZE, BlockDelegation, IanaLedger
+from .bogons import (
+    SPECIAL_USE_RANGES,
+    SpecialUseRange,
+    bogon_reason,
+    is_bogon_asn,
+    iter_bogon_ranges,
+)
+from .numbers import (
+    AS16_MAX,
+    AS32_MAX,
+    AS_MIN,
+    ASN,
+    digit_count,
+    from_asdot,
+    is_16bit,
+    is_32bit_only,
+    looks_like_prepend_typo,
+    one_digit_apart,
+    to_asdot,
+    validate_asn,
+)
+
+__all__ = [
+    "ASN",
+    "AS_MIN",
+    "AS16_MAX",
+    "AS32_MAX",
+    "validate_asn",
+    "is_16bit",
+    "is_32bit_only",
+    "to_asdot",
+    "from_asdot",
+    "digit_count",
+    "looks_like_prepend_typo",
+    "one_digit_apart",
+    "SpecialUseRange",
+    "SPECIAL_USE_RANGES",
+    "is_bogon_asn",
+    "bogon_reason",
+    "iter_bogon_ranges",
+    "BLOCK_SIZE",
+    "BlockDelegation",
+    "IanaLedger",
+]

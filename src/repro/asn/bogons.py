@@ -1,0 +1,94 @@
+"""Special-use ("bogon") AS numbers.
+
+The §6.4 analysis of operational lives without allocation explicitly
+excludes "bogon" ASNs normally filtered by operators — AS numbers that
+RFCs reserve for documentation, private use, or special processing and
+that RIRs can never delegate.  This module encodes the IANA
+special-purpose AS number registry as of the paper's observation window
+(citing the same RFCs the paper does: RFC 1930, 5398, 6996, 7300,
+7607, plus the AS112 and AS_TRANS assignments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .numbers import AS32_MAX, ASN, validate_asn
+
+__all__ = [
+    "SpecialUseRange",
+    "SPECIAL_USE_RANGES",
+    "is_bogon_asn",
+    "bogon_reason",
+    "iter_bogon_ranges",
+]
+
+
+@dataclass(frozen=True)
+class SpecialUseRange:
+    """One row of the IANA special-purpose AS numbers registry."""
+
+    first: ASN
+    last: ASN
+    designation: str
+    reference: str
+
+    def __contains__(self, asn: ASN) -> bool:
+        return self.first <= asn <= self.last
+
+
+#: The special-purpose registry rows relevant to the 2003-2021 window.
+SPECIAL_USE_RANGES: Tuple[SpecialUseRange, ...] = (
+    SpecialUseRange(0, 0, "Reserved (may not be used to identify an AS)", "RFC 7607"),
+    SpecialUseRange(112, 112, "AS112 anycast nameserver operations", "RFC 7534"),
+    SpecialUseRange(23456, 23456, "AS_TRANS (16-to-32-bit migration)", "RFC 6793"),
+    SpecialUseRange(64496, 64511, "Documentation and sample code", "RFC 5398"),
+    SpecialUseRange(64512, 65534, "Private use (16-bit)", "RFC 6996"),
+    SpecialUseRange(65535, 65535, "Reserved (last 16-bit ASN)", "RFC 7300"),
+    SpecialUseRange(65536, 65551, "Documentation and sample code", "RFC 5398"),
+    SpecialUseRange(4200000000, 4294967294, "Private use (32-bit)", "RFC 6996"),
+    SpecialUseRange(4294967295, 4294967295, "Reserved (last 32-bit ASN)", "RFC 7300"),
+)
+
+
+def is_bogon_asn(asn: ASN) -> bool:
+    """True when the ASN belongs to a special-use/reserved range.
+
+    Note that AS112 is *assigned* (to a distributed operations project)
+    rather than reserved; the paper's exclusion list covers ASNs that
+    operators conventionally treat as non-delegable, which includes it.
+    """
+    validate_asn(asn)
+    return any(asn in rng for rng in SPECIAL_USE_RANGES)
+
+
+def bogon_reason(asn: ASN) -> str:
+    """Return the registry designation for a bogon ASN.
+
+    Raises :class:`ValueError` for ASNs that are not special-use.
+    """
+    validate_asn(asn)
+    for rng in SPECIAL_USE_RANGES:
+        if asn in rng:
+            return f"{rng.designation} ({rng.reference})"
+    raise ValueError(f"AS{asn} is not a special-use ASN")
+
+
+def iter_bogon_ranges() -> List[Tuple[ASN, ASN]]:
+    """Return the (first, last) pairs of every special-use range."""
+    return [(rng.first, rng.last) for rng in SPECIAL_USE_RANGES]
+
+
+def _check_registry_invariants() -> None:
+    """The registry rows must be sorted and non-overlapping."""
+    prev_last = -1
+    for rng in SPECIAL_USE_RANGES:
+        if rng.first <= prev_last:
+            raise AssertionError(f"overlapping special-use ranges at {rng}")
+        if rng.last > AS32_MAX:
+            raise AssertionError(f"range {rng} exceeds the 32-bit space")
+        prev_last = rng.last
+
+
+_check_registry_invariants()

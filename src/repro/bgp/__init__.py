@@ -1,0 +1,94 @@
+"""BGP substrate: topology, routing, collectors, streams, sanitization,
+visibility accounting, and anomaly events."""
+
+from .anomalies import (
+    DANGLING,
+    NOISE_ORIGIN,
+    FAT_FINGER_DIGIT,
+    FAT_FINGER_PREPEND,
+    INTERNAL_LEAK,
+    MALICIOUS_KINDS,
+    MISCONFIG_KINDS,
+    SQUAT_DORMANT,
+    SQUAT_POST_DEALLOC,
+    AnomalyEvent,
+)
+from .collector import (
+    RIPE_RIS,
+    ROUTEVIEWS,
+    Collector,
+    all_peer_asns,
+    build_collectors,
+)
+from .messages import ANNOUNCE, RIB, WITHDRAW, BgpElement, path_has_loop
+from .moas import (
+    MoasConflict,
+    MoasDetector,
+    SubMoasConflict,
+    find_moas,
+    find_submoas,
+)
+from .mrt import MrtError, dump_day, load_day, read_elements, write_elements
+from .routing import (
+    ROUTE_CUSTOMER,
+    ROUTE_PEER,
+    ROUTE_PROVIDER,
+    as_path_to,
+    best_paths,
+    validate_valley_free,
+)
+from .sanitize import SanitizeStats, sanitize
+from .stream import Announcement, PathOracle, SyntheticBgpStream
+from .topology import P2C, P2P, AsTopology, generate_topology
+from .visibility import DEFAULT_MIN_PEERS, active_asns, peer_visibility
+
+__all__ = [
+    "AsTopology",
+    "generate_topology",
+    "P2C",
+    "P2P",
+    "best_paths",
+    "as_path_to",
+    "validate_valley_free",
+    "ROUTE_CUSTOMER",
+    "ROUTE_PEER",
+    "ROUTE_PROVIDER",
+    "Collector",
+    "build_collectors",
+    "all_peer_asns",
+    "ROUTEVIEWS",
+    "RIPE_RIS",
+    "BgpElement",
+    "path_has_loop",
+    "RIB",
+    "ANNOUNCE",
+    "WITHDRAW",
+    "Announcement",
+    "PathOracle",
+    "SyntheticBgpStream",
+    "SanitizeStats",
+    "sanitize",
+    "peer_visibility",
+    "active_asns",
+    "DEFAULT_MIN_PEERS",
+    "AnomalyEvent",
+    "SQUAT_DORMANT",
+    "SQUAT_POST_DEALLOC",
+    "FAT_FINGER_PREPEND",
+    "FAT_FINGER_DIGIT",
+    "INTERNAL_LEAK",
+    "DANGLING",
+    "NOISE_ORIGIN",
+    "MALICIOUS_KINDS",
+    "MISCONFIG_KINDS",
+    "MoasConflict",
+    "SubMoasConflict",
+    "MoasDetector",
+    "find_moas",
+    "find_submoas",
+    "MrtError",
+    "write_elements",
+    "read_elements",
+    "dump_day",
+    "load_day",
+]

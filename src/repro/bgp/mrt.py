@@ -1,0 +1,223 @@
+"""Binary dump codec in the spirit of MRT (RFC 6396).
+
+RouteViews and RIPE RIS publish RIB and update dumps as MRT files;
+BGPStream decodes them into the element stream the paper consumes.
+This module closes that loop for the synthetic substrate: elements
+serialize into a compact binary format with MRT's framing — a common
+header of ``timestamp | type | subtype | length`` followed by a typed
+payload — and parse back losslessly.
+
+Record types mirror MRT's numbering: ``13`` (TABLE_DUMP_V2) for RIB
+entries and ``16`` (BGP4MP) for updates, with AS numbers always 4 bytes
+(the AS4 variants).  The payload layout is simplified (single-peer
+records, one NLRI each) but keeps the wire-level concerns real:
+network byte order, variable-length prefix encoding, AS_PATH segments,
+and length-prefixed framing that a reader must validate.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterable, Iterator, List, Tuple
+
+from ..asn.numbers import ASN
+from ..net.prefix import Prefix
+from ..timeline.dates import Day
+from .messages import ANNOUNCE, RIB, WITHDRAW, BgpElement
+
+__all__ = ["MrtError", "write_elements", "read_elements", "dump_day", "load_day"]
+
+#: MRT record types (RFC 6396 §4).
+TYPE_TABLE_DUMP_V2 = 13
+TYPE_BGP4MP = 16
+
+#: Subtypes: RIB entries by address family; BGP4MP AS4 messages.
+SUBTYPE_RIB_IPV4 = 2
+SUBTYPE_RIB_IPV6 = 4
+SUBTYPE_BGP4MP_MESSAGE_AS4 = 4
+
+#: Payload markers for the update direction.
+_UPDATE_ANNOUNCE = 1
+_UPDATE_WITHDRAW = 2
+
+#: AS_PATH segment type (RFC 4271): an ordered AS_SEQUENCE.
+_AS_SEQUENCE = 2
+
+_HEADER = struct.Struct("!IHHI")
+_SECONDS_PER_DAY = 86_400
+#: Proleptic-Gregorian ordinal of the Unix epoch (1970-01-01); MRT
+#: timestamps are 32-bit Unix seconds, day ordinals are not.
+_EPOCH_ORDINAL = 719_163
+
+
+class MrtError(ValueError):
+    """Raised on malformed or truncated MRT data."""
+
+
+def _encode_prefix(prefix: Prefix) -> bytes:
+    """AFI byte, mask length byte, then the minimal network bytes
+    (MRT/BGP NLRI encoding pads to whole octets)."""
+    octets = (prefix.length + 7) // 8
+    width = 4 if prefix.version == 4 else 16
+    raw = prefix.network.to_bytes(width, "big")[:octets]
+    return bytes([prefix.version, prefix.length]) + raw
+
+
+def _decode_prefix(payload: bytes, offset: int) -> Tuple[Prefix, int]:
+    if offset + 2 > len(payload):
+        raise MrtError("truncated prefix header")
+    version, length = payload[offset], payload[offset + 1]
+    if version not in (4, 6):
+        raise MrtError(f"bad AFI byte {version}")
+    octets = (length + 7) // 8
+    end = offset + 2 + octets
+    if end > len(payload):
+        raise MrtError("truncated prefix body")
+    width = 4 if version == 4 else 16
+    raw = payload[offset + 2 : end] + b"\x00" * (width - octets)
+    return Prefix(version, int.from_bytes(raw, "big"), length), end
+
+
+def _encode_path(as_path: Tuple[ASN, ...]) -> bytes:
+    """One AS_SEQUENCE segment: type, hop count, 4-byte ASNs."""
+    if len(as_path) > 255:
+        raise MrtError("AS path longer than one segment supports")
+    out = bytes([_AS_SEQUENCE, len(as_path)])
+    for asn in as_path:
+        out += struct.pack("!I", asn)
+    return out
+
+
+def _decode_path(payload: bytes, offset: int) -> Tuple[Tuple[ASN, ...], int]:
+    if offset + 2 > len(payload):
+        raise MrtError("truncated AS path header")
+    segment_type, count = payload[offset], payload[offset + 1]
+    if segment_type != _AS_SEQUENCE:
+        raise MrtError(f"unsupported path segment type {segment_type}")
+    end = offset + 2 + 4 * count
+    if end > len(payload):
+        raise MrtError("truncated AS path body")
+    hops = struct.unpack(f"!{count}I", payload[offset + 2 : end])
+    return tuple(hops), end
+
+
+def _element_payload(element: BgpElement) -> Tuple[int, int, bytes]:
+    """(type, subtype, payload) for one element.
+
+    The intra-day sequence number rides in the payload (real MRT keeps
+    sub-second ordering in an extension field) so that the 32-bit
+    header timestamp only needs day resolution."""
+    body = struct.pack("!II", element.sequence, element.peer_asn)
+    body += _encode_prefix(element.prefix)
+    if element.elem_type == RIB:
+        body += _encode_path(element.as_path)
+        subtype = SUBTYPE_RIB_IPV4 if element.prefix.version == 4 else SUBTYPE_RIB_IPV6
+        return TYPE_TABLE_DUMP_V2, subtype, body
+    direction = _UPDATE_ANNOUNCE if element.elem_type == ANNOUNCE else _UPDATE_WITHDRAW
+    body += bytes([direction])
+    if element.elem_type == ANNOUNCE:
+        body += _encode_path(element.as_path)
+    return TYPE_BGP4MP, SUBTYPE_BGP4MP_MESSAGE_AS4, body
+
+
+def write_elements(elements: Iterable[BgpElement], fileobj: BinaryIO) -> int:
+    """Serialize elements to a binary stream; returns the record count."""
+    count = 0
+    for element in elements:
+        rtype, subtype, payload = _element_payload(element)
+        timestamp = (element.day - _EPOCH_ORDINAL) * _SECONDS_PER_DAY
+        if not 0 <= timestamp <= 0xFFFFFFFF:
+            raise MrtError(f"day {element.day} outside the 32-bit MRT range")
+        fileobj.write(_HEADER.pack(timestamp, rtype, subtype, len(payload)))
+        fileobj.write(payload)
+        count += 1
+    return count
+
+
+def read_elements(
+    fileobj: BinaryIO,
+    *,
+    project: str,
+    collector: str,
+) -> Iterator[BgpElement]:
+    """Parse a binary stream back into elements.
+
+    ``project``/``collector`` identify the dump's provenance — real MRT
+    files carry that in their file name, not in the records.  Raises
+    :class:`MrtError` on truncation or malformed framing.
+    """
+    while True:
+        header = fileobj.read(_HEADER.size)
+        if not header:
+            return
+        if len(header) < _HEADER.size:
+            raise MrtError("truncated MRT header")
+        timestamp, rtype, subtype, length = _HEADER.unpack(header)
+        payload = fileobj.read(length)
+        if len(payload) < length:
+            raise MrtError("truncated MRT payload")
+        day = timestamp // _SECONDS_PER_DAY + _EPOCH_ORDINAL
+        if len(payload) < 4:
+            raise MrtError("payload lacks a sequence field")
+        (sequence,) = struct.unpack("!I", payload[:4])
+        payload = payload[4:]
+        if rtype == TYPE_TABLE_DUMP_V2:
+            if subtype not in (SUBTYPE_RIB_IPV4, SUBTYPE_RIB_IPV6):
+                raise MrtError(f"unknown TABLE_DUMP_V2 subtype {subtype}")
+            yield _decode_rib(payload, day, sequence, project, collector)
+        elif rtype == TYPE_BGP4MP:
+            if subtype != SUBTYPE_BGP4MP_MESSAGE_AS4:
+                raise MrtError(f"unknown BGP4MP subtype {subtype}")
+            yield _decode_update(payload, day, sequence, project, collector)
+        else:
+            raise MrtError(f"unknown MRT record type {rtype}")
+
+
+def _decode_rib(
+    payload: bytes, day: Day, sequence: int, project: str, collector: str
+) -> BgpElement:
+    if len(payload) < 4:
+        raise MrtError("truncated RIB record")
+    (peer,) = struct.unpack("!I", payload[:4])
+    prefix, offset = _decode_prefix(payload, 4)
+    path, offset = _decode_path(payload, offset)
+    if offset != len(payload):
+        raise MrtError("trailing bytes in RIB record")
+    return BgpElement(RIB, day, sequence, project, collector, peer, prefix, path)
+
+
+def _decode_update(
+    payload: bytes, day: Day, sequence: int, project: str, collector: str
+) -> BgpElement:
+    if len(payload) < 4:
+        raise MrtError("truncated update record")
+    (peer,) = struct.unpack("!I", payload[:4])
+    prefix, offset = _decode_prefix(payload, 4)
+    if offset >= len(payload):
+        raise MrtError("update record lacks a direction byte")
+    direction = payload[offset]
+    offset += 1
+    if direction == _UPDATE_WITHDRAW:
+        if offset != len(payload):
+            raise MrtError("trailing bytes in withdraw record")
+        return BgpElement(
+            WITHDRAW, day, sequence, project, collector, peer, prefix
+        )
+    if direction != _UPDATE_ANNOUNCE:
+        raise MrtError(f"unknown update direction {direction}")
+    path, offset = _decode_path(payload, offset)
+    if offset != len(payload):
+        raise MrtError("trailing bytes in announce record")
+    return BgpElement(ANNOUNCE, day, sequence, project, collector, peer, prefix, path)
+
+
+def dump_day(elements: Iterable[BgpElement], path) -> int:
+    """Write one day's elements to an MRT-style file on disk."""
+    with open(path, "wb") as fileobj:
+        return write_elements(elements, fileobj)
+
+
+def load_day(path, *, project: str, collector: str) -> List[BgpElement]:
+    """Read an MRT-style file back into a list of elements."""
+    with open(path, "rb") as fileobj:
+        return list(read_elements(fileobj, project=project, collector=collector))

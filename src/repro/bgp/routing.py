@@ -1,0 +1,161 @@
+"""Valley-free route propagation (Gao-Rexford model).
+
+Collectors see AS paths, so the substrate must produce realistic ones.
+We implement the standard three-phase propagation model: an AS exports
+customer routes to everyone but peer/provider routes only to customers,
+and prefers customer over peer over provider routes, breaking ties by
+path length and then lowest next hop (deterministic).
+
+:func:`best_paths` computes, for one announcing AS, the best AS path
+from *every* AS in the topology to the announcer — one O(V+E) sweep per
+announcement, which is what makes materializing collector RIBs cheap
+enough to run daily snapshots.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..asn.numbers import ASN
+from .topology import AsTopology
+
+__all__ = ["ROUTE_CUSTOMER", "ROUTE_PEER", "ROUTE_PROVIDER", "best_paths", "as_path_to"]
+
+#: Route preference classes, in decreasing preference.
+ROUTE_CUSTOMER = 0
+ROUTE_PEER = 1
+ROUTE_PROVIDER = 2
+
+Path = Tuple[ASN, ...]
+
+
+def _better(
+    cls_a: int, path_a: Path, cls_b: Optional[int], path_b: Optional[Path]
+) -> bool:
+    """True when route (cls_a, path_a) beats the incumbent (cls_b, path_b)."""
+    if cls_b is None or path_b is None:
+        return True
+    if cls_a != cls_b:
+        return cls_a < cls_b
+    if len(path_a) != len(path_b):
+        return len(path_a) < len(path_b)
+    return path_a < path_b
+
+
+def best_paths(topo: AsTopology, announcer: ASN) -> Dict[ASN, Path]:
+    """Best valley-free AS path from every AS to ``announcer``.
+
+    The returned path for AS ``x`` starts at ``x`` and ends at
+    ``announcer``; the announcer itself maps to the one-element path.
+    ASes with no valley-free route to the announcer are absent.
+    """
+    if announcer not in topo:
+        return {}
+    route_class: Dict[ASN, int] = {announcer: ROUTE_CUSTOMER}
+    route_path: Dict[ASN, Path] = {announcer: (announcer,)}
+
+    # Phase 1 — customer routes climb provider links (BFS = shortest).
+    queue = deque([announcer])
+    while queue:
+        current = queue.popleft()
+        path = route_path[current]
+        for provider in sorted(topo.providers(current)):
+            candidate = (provider,) + path
+            if _better(
+                ROUTE_CUSTOMER,
+                candidate,
+                route_class.get(provider),
+                route_path.get(provider),
+            ):
+                route_class[provider] = ROUTE_CUSTOMER
+                route_path[provider] = candidate
+                queue.append(provider)
+
+    # Phase 2 — one lateral peer hop over ASes holding customer routes.
+    with_customer_route = [
+        asn for asn, cls in route_class.items() if cls == ROUTE_CUSTOMER
+    ]
+    for asn in sorted(with_customer_route, key=lambda a: (len(route_path[a]), a)):
+        path = route_path[asn]
+        for peer in sorted(topo.peers(asn)):
+            candidate = (peer,) + path
+            if _better(
+                ROUTE_PEER, candidate, route_class.get(peer), route_path.get(peer)
+            ):
+                route_class[peer] = ROUTE_PEER
+                route_path[peer] = candidate
+
+    # Phase 3 — descend customer links; provider routes propagate down.
+    queue = deque(sorted(route_class, key=lambda a: (len(route_path[a]), a)))
+    while queue:
+        current = queue.popleft()
+        path = route_path[current]
+        for customer in sorted(topo.customers(current)):
+            candidate = (customer,) + path
+            if _better(
+                ROUTE_PROVIDER,
+                candidate,
+                route_class.get(customer),
+                route_path.get(customer),
+            ):
+                route_class[customer] = ROUTE_PROVIDER
+                route_path[customer] = candidate
+                queue.append(customer)
+
+    return route_path
+
+
+def as_path_to(
+    paths: Dict[ASN, Path],
+    vantage: ASN,
+    *,
+    forged_origin: Optional[ASN] = None,
+    prepend: int = 0,
+) -> Optional[Path]:
+    """The AS path a vantage AS would report for this announcement.
+
+    ``forged_origin`` appends a squatted origin ASN behind the real
+    announcer (the §6.1.2 attack: the hijacker "disguises itself as
+    their transit" by forging the origin).  ``prepend`` repeats the
+    origin, modelling AS-path prepending.
+    """
+    path = paths.get(vantage)
+    if path is None:
+        return None
+    if forged_origin is not None:
+        path = path + (forged_origin,)
+    if prepend:
+        path = path + (path[-1],) * prepend
+    return path
+
+
+def validate_valley_free(topo: AsTopology, path: Sequence[ASN]) -> bool:
+    """Check the Gao-Rexford valley-free property of a path.
+
+    Traversing from origin to vantage (i.e. reversed reported order), a
+    path must go up (customer→provider) zero or more times, cross at
+    most one peer link, then go down (provider→customer).  Used by the
+    tests as an oracle over :func:`best_paths` output.
+    """
+    hops = list(reversed(path))  # origin .. vantage
+    phase = "up"
+    for a, b in zip(hops, hops[1:]):
+        if b in topo.providers(a):
+            step = "up"
+        elif b in topo.peers(a):
+            step = "peer"
+        elif b in topo.customers(a):
+            step = "down"
+        else:
+            return False
+        if phase == "up":
+            phase = step
+        elif phase == "peer":
+            if step != "down":
+                return False
+            phase = "down"
+        elif phase == "down":
+            if step != "down":
+                return False
+    return True

@@ -1,0 +1,61 @@
+"""§3.2 BGP data sanitization.
+
+The paper discards (i) paths to prefixes outside the globally-routable
+length bounds (/8../24 for IPv4, /8../64 for IPv6) and (ii) paths with
+loops.  This module applies the same filters and keeps counts per drop
+reason so pipelines can report exactly what was removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator
+
+from .messages import WITHDRAW, BgpElement
+
+__all__ = ["SanitizeStats", "sanitize"]
+
+REASON_PREFIX_LENGTH = "prefix_length"
+REASON_LOOP = "as_path_loop"
+
+
+@dataclass
+class SanitizeStats:
+    """Counters filled in by :func:`sanitize`."""
+
+    kept: int = 0
+    dropped: Dict[str, int] = field(default_factory=dict)
+
+    def drop(self, reason: str) -> None:
+        self.dropped[reason] = self.dropped.get(reason, 0) + 1
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.dropped.values())
+
+    @property
+    def total_seen(self) -> int:
+        return self.kept + self.total_dropped
+
+
+def sanitize(
+    elements: Iterable[BgpElement],
+    stats: SanitizeStats | None = None,
+) -> Iterator[BgpElement]:
+    """Yield only elements that pass the paper's sanitization rules.
+
+    Withdrawals carry no path and are passed through unchanged if their
+    prefix is plausible; RIB entries and announcements are checked for
+    both prefix-length bounds and AS-path loops.
+    """
+    if stats is None:
+        stats = SanitizeStats()
+    for element in elements:
+        if not element.prefix.is_globally_routable_length():
+            stats.drop(REASON_PREFIX_LENGTH)
+            continue
+        if element.elem_type != WITHDRAW and element.has_loop:
+            stats.drop(REASON_LOOP)
+            continue
+        stats.kept += 1
+        yield element

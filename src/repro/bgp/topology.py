@@ -1,0 +1,192 @@
+"""AS-level Internet topology with business relationships.
+
+The BGP substrate needs a topology to propagate routes over: which AS
+buys transit from which (provider-customer, "p2c") and which ASes peer
+settlement-free ("p2p").  The §6.2 analysis additionally needs CAIDA
+ASRank-style *customer cones* — the set of ASes reachable by following
+only customer links — to show that dangling announcements come from
+small networks ("95% of them have no customers").
+
+:class:`AsTopology` stores the graph (networkx underneath) and computes
+cones; :func:`generate_topology` builds a deterministic three-tier
+hierarchy (clique of tier-1s, mid-tier transits, stub edge networks)
+that mimics the Internet's structure closely enough for path shapes
+and cone-size distributions to be meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..asn.numbers import ASN
+
+__all__ = ["P2C", "P2P", "AsTopology", "generate_topology"]
+
+#: Edge relationship labels.
+P2C = "p2c"  # provider-to-customer
+P2P = "p2p"  # settlement-free peering
+
+
+class AsTopology:
+    """An annotated AS graph.
+
+    Provider-customer edges are stored directed provider→customer in a
+    DiGraph; peering links are kept symmetric.  Mutation happens through
+    :meth:`add_p2c` / :meth:`add_p2p`, which maintain the inverse
+    indexes the routing code relies on.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+        self._providers: Dict[ASN, Set[ASN]] = {}
+        self._customers: Dict[ASN, Set[ASN]] = {}
+        self._peers: Dict[ASN, Set[ASN]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_asn(self, asn: ASN) -> None:
+        """Ensure an AS exists (isolated until links are added)."""
+        if asn not in self._graph:
+            self._graph.add_node(asn)
+            self._providers.setdefault(asn, set())
+            self._customers.setdefault(asn, set())
+            self._peers.setdefault(asn, set())
+
+    def add_p2c(self, provider: ASN, customer: ASN) -> None:
+        """Add a provider→customer (transit) relationship."""
+        if provider == customer:
+            raise ValueError("an AS cannot be its own provider")
+        self.add_asn(provider)
+        self.add_asn(customer)
+        self._graph.add_edge(provider, customer, rel=P2C)
+        self._customers[provider].add(customer)
+        self._providers[customer].add(provider)
+
+    def add_p2p(self, a: ASN, b: ASN) -> None:
+        """Add a settlement-free peering relationship (symmetric)."""
+        if a == b:
+            raise ValueError("an AS cannot peer with itself")
+        self.add_asn(a)
+        self.add_asn(b)
+        self._peers[a].add(b)
+        self._peers[b].add(a)
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, asn: ASN) -> bool:
+        return asn in self._graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def asns(self) -> Iterable[ASN]:
+        return self._graph.nodes
+
+    def providers(self, asn: ASN) -> FrozenSet[ASN]:
+        return frozenset(self._providers.get(asn, ()))
+
+    def customers(self, asn: ASN) -> FrozenSet[ASN]:
+        return frozenset(self._customers.get(asn, ()))
+
+    def peers(self, asn: ASN) -> FrozenSet[ASN]:
+        return frozenset(self._peers.get(asn, ()))
+
+    def degree(self, asn: ASN) -> int:
+        """Total relationship count (providers + customers + peers)."""
+        return (
+            len(self._providers.get(asn, ()))
+            + len(self._customers.get(asn, ()))
+            + len(self._peers.get(asn, ()))
+        )
+
+    def is_stub(self, asn: ASN) -> bool:
+        """True for ASes with no customers (the edge of the Internet)."""
+        return not self._customers.get(asn)
+
+    def customer_cone(self, asn: ASN) -> FrozenSet[ASN]:
+        """ASRank-style customer cone: ``asn`` plus every AS reachable
+        by repeatedly following customer links (§6.2 / [48])."""
+        seen: Set[ASN] = {asn}
+        stack = [asn]
+        while stack:
+            current = stack.pop()
+            for customer in self._customers.get(current, ()):
+                if customer not in seen:
+                    seen.add(customer)
+                    stack.append(customer)
+        return frozenset(seen)
+
+    def cone_size(self, asn: ASN) -> int:
+        """Customer-cone size, counting the AS itself."""
+        return len(self.customer_cone(asn))
+
+    def tier1s(self) -> FrozenSet[ASN]:
+        """ASes with no providers (the top of the hierarchy)."""
+        return frozenset(
+            asn for asn in self._graph.nodes if not self._providers.get(asn)
+        )
+
+    def to_networkx(self) -> nx.DiGraph:
+        """A copy of the underlying provider→customer digraph, with
+        peering links attached as ``rel='p2p'`` edges in both directions."""
+        graph = self._graph.copy()
+        for a, peers in self._peers.items():
+            for b in peers:
+                graph.add_edge(a, b, rel=P2P)
+        return graph
+
+
+def generate_topology(
+    asns: Sequence[ASN],
+    *,
+    seed: int = 0,
+    tier1_count: int = 8,
+    transit_share: float = 0.12,
+    stub_extra_provider_prob: float = 0.35,
+    peering_prob: float = 0.08,
+) -> AsTopology:
+    """Build a deterministic three-tier topology over the given ASNs.
+
+    * the first ``tier1_count`` ASNs form a full peering clique (tier 1);
+    * the next ``transit_share`` fraction become mid-tier transit
+      providers, each buying from 1-2 tier 1s and peering laterally;
+    * the rest are stubs buying transit from 1-2 mid-tier providers
+      (multi-homing with probability ``stub_extra_provider_prob``).
+
+    The construction is order-deterministic for a given ``seed``.
+    """
+    if len(asns) < tier1_count + 2:
+        raise ValueError("need more ASNs than tier-1 slots")
+    rng = random.Random(seed)
+    topo = AsTopology()
+    ordered = list(asns)
+    tier1 = ordered[:tier1_count]
+    transit_count = max(1, int(len(ordered) * transit_share))
+    transits = ordered[tier1_count : tier1_count + transit_count]
+    stubs = ordered[tier1_count + transit_count :]
+
+    for a_idx, a in enumerate(tier1):
+        topo.add_asn(a)
+        for b in tier1[a_idx + 1 :]:
+            topo.add_p2p(a, b)
+
+    for t in transits:
+        for provider in rng.sample(tier1, rng.randint(1, 2)):
+            topo.add_p2c(provider, t)
+    for idx, t in enumerate(transits):
+        for other in transits[idx + 1 :]:
+            if rng.random() < peering_prob:
+                topo.add_p2p(t, other)
+
+    for s in stubs:
+        providers = rng.sample(transits, min(len(transits), 1))
+        if rng.random() < stub_extra_provider_prob and len(transits) > 1:
+            extra = rng.choice(transits)
+            if extra not in providers:
+                providers.append(extra)
+        for p in providers:
+            topo.add_p2c(p, s)
+    return topo

@@ -1,0 +1,172 @@
+"""Command-line interface for the reproduction pipeline.
+
+Subcommands mirror the paper's workflow (Fig. 1):
+
+``simulate``
+    Build a synthetic world, run defect injection + restoration +
+    lifetime inference, export the two Listing-1 JSON datasets, and
+    print the joint-analysis report.
+``analyze``
+    Load previously exported datasets and re-run the joint analysis
+    (taxonomy, utilization, squat detection).
+``export-mirror``
+    Materialize a simulated delegation archive as an FTP-style
+    directory tree of daily ``delegated-*`` files.
+``squat-hunt``
+    Run the §6.1.2 dormant-squat detector over exported datasets.
+
+Run ``python -m repro.cli <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .core.joint import JointAnalysis
+from .core.report import render_report
+from .core.squatting import detect_dormant_squatting
+from .lifetimes.io import (
+    dump_admin_dataset,
+    dump_bgp_dataset,
+    load_admin_dataset,
+    load_bgp_dataset,
+)
+from .rir.ftp import export_archive
+from .simulation.config import WorldConfig
+from .simulation.datasets import build_datasets
+from .timeline.dates import PAPER_END, from_iso, to_iso
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'The parallel lives of Autonomous "
+        "Systems: ASN Allocations vs. BGP' (IMC 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="build a world and export datasets")
+    simulate.add_argument("--scale", type=float, default=0.02,
+                          help="fraction of paper-scale volume (default 0.02)")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--out", type=Path, default=Path("."),
+                          help="output directory for the JSON datasets")
+    simulate.add_argument("--no-pitfalls", action="store_true",
+                          help="skip §3.1 defect injection")
+    simulate.add_argument("--timeout", type=int, default=30,
+                          help="BGP inactivity timeout in days (default 30)")
+
+    analyze = sub.add_parser("analyze", help="joint analysis over exported datasets")
+    analyze.add_argument("admin", type=Path, help="administrative dataset JSON")
+    analyze.add_argument("operational", type=Path, help="operational dataset JSON")
+    analyze.add_argument("--end", default=None,
+                         help="window end (YYYY-MM-DD; default: paper end)")
+
+    mirror = sub.add_parser("export-mirror",
+                            help="write an FTP-style delegation-file tree")
+    mirror.add_argument("--scale", type=float, default=0.01)
+    mirror.add_argument("--seed", type=int, default=0)
+    mirror.add_argument("--out", type=Path, required=True)
+    mirror.add_argument("--start", default=None, help="first day (YYYY-MM-DD)")
+    mirror.add_argument("--end", default=None, help="last day (YYYY-MM-DD)")
+
+    hunt = sub.add_parser("squat-hunt",
+                          help="run the §6.1.2 dormant-squat detector")
+    hunt.add_argument("admin", type=Path)
+    hunt.add_argument("operational", type=Path)
+    hunt.add_argument("--dormancy", type=int, default=1000,
+                      help="minimum allocated-but-silent days (default 1000)")
+    hunt.add_argument("--relative-duration", type=float, default=0.05,
+                      help="maximum op/admin duration ratio (default 0.05)")
+    hunt.add_argument("--top", type=int, default=20)
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = WorldConfig(seed=args.seed, scale=args.scale)
+    bundle = build_datasets(
+        config, inject_pitfalls=not args.no_pitfalls, timeout=args.timeout
+    )
+    args.out.mkdir(parents=True, exist_ok=True)
+    admin_path = args.out / "admin_dataset.json"
+    op_path = args.out / "operational_dataset.json"
+    n_admin = dump_admin_dataset(bundle.admin_lives, admin_path)
+    n_op = dump_bgp_dataset(bundle.op_lives, op_path)
+    print(render_report(bundle.joint, restoration=bundle.restoration_report))
+    print(f"\nwrote {admin_path} ({n_admin} records)")
+    print(f"wrote {op_path} ({n_op} records)")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    admin_lives = load_admin_dataset(args.admin)
+    op_lives = load_bgp_dataset(args.operational)
+    end_day = from_iso(args.end) if args.end else PAPER_END
+    joint = JointAnalysis(admin_lives, op_lives, end_day=end_day)
+    print(render_report(joint))
+    return 0
+
+
+def _cmd_export_mirror(args: argparse.Namespace) -> int:
+    from .rir.archive import DelegationArchive
+    from .rir.pitfalls import PitfallInjector
+    from .simulation.world import WorldSimulator
+
+    config = WorldConfig(seed=args.seed, scale=args.scale)
+    world = WorldSimulator(config).run()
+    clean = DelegationArchive(world.registries, config.end_day)
+    windows = {w.source: (w.first_day, w.last_day) for w in clean.sources()}
+    injector = PitfallInjector(world.registries, config.end_day,
+                               seed=config.seed + 6)
+    overlay = injector.inject_all(windows, world.transfers)
+    archive = DelegationArchive(world.registries, config.end_day, overlay)
+    start = from_iso(args.start) if args.start else None
+    end = from_iso(args.end) if args.end else None
+    written = export_archive(archive, args.out, start=start, end=end)
+    print(f"wrote {written} delegation files under {args.out}")
+    return 0
+
+
+def _cmd_squat_hunt(args: argparse.Namespace) -> int:
+    admin_lives = load_admin_dataset(args.admin)
+    op_lives = load_bgp_dataset(args.operational)
+    candidates = detect_dormant_squatting(
+        admin_lives,
+        op_lives,
+        dormancy_days=args.dormancy,
+        relative_duration=args.relative_duration,
+    )
+    print(f"{len(candidates)} operational lives match the filter "
+          f"(dormancy >= {args.dormancy}d, relative duration <= "
+          f"{args.relative_duration:.0%})")
+    for candidate in candidates[: args.top]:
+        print(
+            f"  AS{candidate.asn}: dormant {candidate.dormancy_days}d, "
+            f"then active {to_iso(candidate.op_start)} .. "
+            f"{to_iso(candidate.op_end)} "
+            f"({candidate.relative_duration:.1%} of the admin life)"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "analyze": _cmd_analyze,
+    "export-mirror": _cmd_export_mirror,
+    "squat-hunt": _cmd_squat_hunt,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Country-level infrastructure expansion (Appendix A).
+
+Appendix A breaks the administrative lens down by country: Brazil's
+climb to >70% of LACNIC, India overtaking Australia inside APNIC,
+Russia leading RIPE NCC — "insight into the expansion of Internet
+infrastructure in different countries and regions of the world over
+the years".  This module computes those per-country series and growth
+rankings from a lifetime dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..asn.numbers import ASN
+from ..lifetimes.records import AdminLifetime
+from ..timeline.dates import Day
+from .trends import DailySeries, _accumulate
+
+__all__ = [
+    "alive_counts_by_country",
+    "country_growth",
+    "fastest_growing_countries",
+]
+
+
+def alive_counts_by_country(
+    admin_lives: Mapping[ASN, Sequence[AdminLifetime]],
+    start: Day,
+    end: Day,
+    *,
+    registry: Optional[str] = None,
+    min_lives: int = 1,
+) -> Dict[str, DailySeries]:
+    """Per-country daily alive allocation counts.
+
+    ``registry`` restricts to one RIR's delegations (the Appendix-A
+    regional breakdowns); countries with fewer than ``min_lives``
+    lifetimes are dropped to keep the long tail out of the result.
+    """
+    buckets: Dict[str, List[Tuple[Day, Day]]] = {}
+    for per_asn in admin_lives.values():
+        for life in per_asn:
+            if not life.cc:
+                continue
+            if registry is not None and life.registry != registry:
+                continue
+            buckets.setdefault(life.cc, []).append((life.start, life.end))
+    return {
+        cc: DailySeries(start, _accumulate(intervals, start, end))
+        for cc, intervals in sorted(buckets.items())
+        if len(intervals) >= min_lives
+    }
+
+
+def country_growth(
+    series: Mapping[str, DailySeries], day_a: Day, day_b: Day
+) -> Dict[str, Tuple[int, int, float]]:
+    """(count at a, count at b, multiplicative growth) per country.
+
+    Countries absent (zero) at ``day_a`` report infinite growth as the
+    raw delta with factor ``float('inf')`` — new entrants, which the
+    Appendix-A narrative calls out (India "not even in the top-5" in
+    2010).
+    """
+    out: Dict[str, Tuple[int, int, float]] = {}
+    for cc, s in series.items():
+        a, b = s.at(day_a), s.at(day_b)
+        factor = b / a if a else float("inf") if b else 1.0
+        out[cc] = (a, b, factor)
+    return out
+
+
+def fastest_growing_countries(
+    admin_lives: Mapping[ASN, Sequence[AdminLifetime]],
+    start: Day,
+    end: Day,
+    *,
+    registry: Optional[str] = None,
+    top: int = 5,
+    min_final: int = 10,
+) -> List[Tuple[str, int, int, float]]:
+    """Top countries by growth factor over the window.
+
+    ``min_final`` filters out micro-populations whose factors are
+    noise.  Rows are (country, count at start, count at end, factor),
+    factor-descending with the absolute gain as tie-break.
+    """
+    series = alive_counts_by_country(
+        admin_lives, start, end, registry=registry
+    )
+    growth = country_growth(series, start, end)
+    rows = [
+        (cc, a, b, factor)
+        for cc, (a, b, factor) in growth.items()
+        if b >= min_final
+    ]
+    rows.sort(key=lambda r: (-(r[3] if r[3] != float("inf") else 1e18), -(r[2] - r[1])))
+    return rows[:top]

@@ -1,0 +1,150 @@
+"""§6.4 — classifying never-allocated ASNs seen in BGP.
+
+Manual inspection in the paper attributes most of these to:
+
+* **failed AS-path prepending** (76% of the identified
+  misconfigurations): the origin is the first hop's digits repeated,
+  e.g. AS3202632026 next to first hop AS32026;
+* **one-digit typos** (24%): the origin differs from a legitimate MOAS
+  partner by a single digit, e.g. AS419333 vs AS41933;
+* **internal numbering leaks**: very large valid ASNs (more digits than
+  any allocated one) announcing prefixes covered by a real operator's
+  aggregate, like AS290012147 inside Verizon's /12.
+
+The classifier consumes *path evidence* — for each suspect origin, the
+observed first hop, the announced prefixes, and any MOAS partners —
+which the integration layer extracts from sanitized BGP elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..asn.numbers import ASN, digit_count, looks_like_prepend_typo, one_digit_apart
+from ..bgp.messages import BgpElement
+from ..net.prefix import Prefix
+
+__all__ = [
+    "PathEvidence",
+    "MisconfigClass",
+    "classify_suspect",
+    "classify_all",
+    "collect_path_evidence",
+]
+
+
+@dataclass(frozen=True)
+class PathEvidence:
+    """Observed routing facts about one suspect origin ASN."""
+
+    origin: ASN
+    first_hops: Tuple[ASN, ...]
+    prefixes: Tuple[Prefix, ...]
+    moas_partners: Tuple[ASN, ...] = ()
+    covering_origins: Tuple[ASN, ...] = ()
+
+
+class MisconfigClass:
+    """Classification outcomes."""
+
+    PREPEND_TYPO = "fat_finger_prepend"
+    DIGIT_TYPO = "fat_finger_digit"
+    INTERNAL_LEAK = "internal_leak"
+    UNEXPLAINED = "unexplained"
+
+
+def classify_suspect(
+    evidence: PathEvidence, *, max_allocated_digits: int = 6
+) -> str:
+    """Classify one never-allocated origin from its path evidence.
+
+    Order matters and mirrors the paper's reasoning: a repeated-first-
+    hop origin is a failed prepend regardless of size; then an origin
+    one digit away from a MOAS partner *or from an ASN in its own path*
+    ("an origin ASN similar to an ASN in the AS Path ... usually the
+    first hop", §6.4) marks a digit typo; then an origin with more
+    digits than any allocated ASN, announcing space covered by a
+    legitimate origin that also appears upstream, is an internal leak.
+    """
+    for hop in evidence.first_hops:
+        if looks_like_prepend_typo(evidence.origin, hop):
+            return MisconfigClass.PREPEND_TYPO
+    for partner in evidence.moas_partners + evidence.first_hops:
+        if one_digit_apart(evidence.origin, partner):
+            return MisconfigClass.DIGIT_TYPO
+    if digit_count(evidence.origin) > max_allocated_digits and (
+        evidence.covering_origins
+    ):
+        return MisconfigClass.INTERNAL_LEAK
+    return MisconfigClass.UNEXPLAINED
+
+
+def classify_all(
+    evidence: Iterable[PathEvidence], *, max_allocated_digits: int = 6
+) -> Dict[str, List[ASN]]:
+    """Classify a population of suspects, bucketed by outcome."""
+    out: Dict[str, List[ASN]] = {
+        MisconfigClass.PREPEND_TYPO: [],
+        MisconfigClass.DIGIT_TYPO: [],
+        MisconfigClass.INTERNAL_LEAK: [],
+        MisconfigClass.UNEXPLAINED: [],
+    }
+    for item in evidence:
+        out[classify_suspect(item, max_allocated_digits=max_allocated_digits)].append(
+            item.origin
+        )
+    for bucket in out.values():
+        bucket.sort()
+    return out
+
+
+def collect_path_evidence(
+    elements: Iterable[BgpElement],
+    suspects: Set[ASN],
+) -> Dict[ASN, PathEvidence]:
+    """Extract :class:`PathEvidence` for suspect origins from a
+    (sanitized) element stream.
+
+    First hops are read off paths originated by the suspect; MOAS
+    partners are other origins announcing the *same* prefix; covering
+    origins are origins of strictly less specific prefixes that contain
+    a suspect prefix (the Verizon-/12 pattern).
+    """
+    first_hops: Dict[ASN, Set[ASN]] = {s: set() for s in suspects}
+    prefixes: Dict[ASN, Set[Prefix]] = {s: set() for s in suspects}
+    origins_by_prefix: Dict[Prefix, Set[ASN]] = {}
+    all_announcements: List[Tuple[Prefix, ASN]] = []
+    for element in elements:
+        origin = element.origin
+        if origin is None:
+            continue
+        origins_by_prefix.setdefault(element.prefix, set()).add(origin)
+        all_announcements.append((element.prefix, origin))
+        if origin in suspects:
+            prefixes[origin].add(element.prefix)
+            if len(element.as_path) >= 2:
+                hop = element.as_path[-2]
+                if hop != origin:
+                    first_hops[origin].add(hop)
+
+    out: Dict[ASN, PathEvidence] = {}
+    unique_announcements = set(all_announcements)
+    for suspect in suspects:
+        moas: Set[ASN] = set()
+        covering: Set[ASN] = set()
+        for prefix in prefixes[suspect]:
+            moas |= origins_by_prefix.get(prefix, set()) - {suspect}
+            for other_prefix, other_origin in unique_announcements:
+                if other_origin == suspect:
+                    continue
+                if other_prefix.strictly_contains(prefix):
+                    covering.add(other_origin)
+        out[suspect] = PathEvidence(
+            origin=suspect,
+            first_hops=tuple(sorted(first_hops[suspect])),
+            prefixes=tuple(sorted(prefixes[suspect])),
+            moas_partners=tuple(sorted(moas)),
+            covering_origins=tuple(sorted(covering)),
+        )
+    return out

@@ -1,0 +1,107 @@
+"""Textual report over a full joint analysis.
+
+Renders the paper's headline results — dataset sizes, Table 3, the §6
+sub-analyses — as a single readable report.  Used by the command-line
+interface and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..restoration.report import RestorationReport
+from .joint import JointAnalysis
+from .taxonomy import Category
+
+__all__ = ["render_report"]
+
+
+def _section(title: str) -> List[str]:
+    return ["", title, "-" * len(title)]
+
+
+def render_report(
+    joint: JointAnalysis,
+    *,
+    restoration: Optional[RestorationReport] = None,
+) -> str:
+    """Render the full joint-analysis report as text."""
+    lines: List[str] = ["Parallel lives of Autonomous Systems — analysis report",
+                        "=" * 54]
+
+    lines += _section("Datasets (§4)")
+    lines.append(
+        f"administrative lifetimes: {joint.total_admin_lifetimes()} "
+        f"over {joint.total_admin_asns()} ASNs"
+    )
+    lines.append(
+        f"operational lifetimes:    {joint.total_op_lifetimes()} "
+        f"over {joint.total_op_asns()} ASNs"
+    )
+
+    if restoration is not None:
+        lines += _section("Archive restoration (§3.1)")
+        for step in restoration.steps:
+            lines.append(f"{step.step}: {step.total()} repairs")
+
+    lines += _section("Taxonomy (§6, Table 3)")
+    admin_total = joint.total_admin_lifetimes() or 1
+    for name, admin, op in joint.taxonomy.table3_rows():
+        lines.append(
+            f"{name:22s} admin {admin:7d} ({admin / admin_total:6.1%})   "
+            f"op {op:7d}"
+        )
+
+    utilization = joint.utilization
+    lines += _section("Utilization (§6.1.1, Fig. 7)")
+    lines.append(
+        f"usage > 75%: {utilization.share_with_usage_above(0.75):.1%}   "
+        f"usage > 95%: {utilization.share_with_usage_above(0.95):.1%}   "
+        f"usage < 30%: {utilization.utilization_cdf_at(0.30):.1%}"
+    )
+    shares = utilization.op_count_shares()
+    lines.append(
+        f"op lives per admin life: 1={shares['1']:.1%}  "
+        f"2={shares['2']:.1%}  >2={shares['>2']:.1%}"
+    )
+    for registry, value in utilization.median_late_dealloc().items():
+        lines.append(f"median deallocation lag [{registry}]: {value:.0f} days")
+
+    candidates = joint.squatting_candidates
+    lines += _section("Dormant-ASN squatting (§6.1.2)")
+    lines.append(f"filter matches: {len(candidates)}")
+    score = joint.squatting_score()
+    if score["truth_events"]:
+        lines.append(
+            f"ground truth: {score['truth_events']:.0f} events, "
+            f"recall {score['recall']:.0%}, precision {score['precision']:.0%}"
+        )
+
+    partial = joint.partial
+    lines += _section("Partial overlaps (§6.2)")
+    lines.append(
+        f"partial lives: {partial.partial_admin_lives}  "
+        f"dangling: {partial.dangling_lives} ({partial.dangling_share:.0%})  "
+        f"early starts: {partial.early_start_lives}"
+    )
+
+    unused = joint.unused
+    lines += _section("Unused administrative lives (§6.3)")
+    lines.append(f"unused lives: {unused.unused_lives} ({unused.unused_share:.1%})")
+    for cc, count, frac in unused.top_unused_countries(3):
+        lines.append(f"  {cc}: {count} unused lives ({frac:.0%} of its allocations)")
+
+    outside = joint.outside
+    lines += _section("Operational lives outside delegation (§6.4)")
+    lines.append(
+        f"outside op lives: {outside.outside_op_lives}  "
+        f"once-allocated ASNs: {len(outside.once_allocated_asns)}  "
+        f"never-allocated ASNs: {len(outside.never_allocated_asns)}"
+    )
+    lines.append(
+        f"never-allocated active >1d/>1mo/>1y: "
+        f"{outside.never_allocated_active_longer_than(1)}/"
+        f"{outside.never_allocated_active_longer_than(31)}/"
+        f"{outside.never_allocated_active_longer_than(365)}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Origination vs. transit roles of ASNs in BGP.
+
+The paper's future work (§9) plans "distinguishing between origination
+and transit BGP activity of an ASN to differentiate the role(s) an ASN
+has at different times of its BGP lifetime".  This module implements
+that distinction over message-level element streams: per ASN, the days
+it *originated* prefixes versus the days it only appeared as a
+*transit* hop, and a role classification over any window.
+
+Role changes are themselves a signal: a stub suddenly appearing as
+transit (or an ASN whose activity is transit-only while its allocation
+says end-site) is the kind of inconsistency the joint lens surfaces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..asn.numbers import ASN
+from ..bgp.messages import WITHDRAW, BgpElement
+from ..timeline.dates import Day
+from ..timeline.intervals import IntervalSet
+
+__all__ = ["Role", "RoleActivity", "collect_role_activity", "classify_role"]
+
+
+class Role(enum.Enum):
+    """Dominant role of an ASN over a window."""
+
+    ORIGIN_ONLY = "origin_only"
+    TRANSIT_ONLY = "transit_only"
+    MIXED = "mixed"
+    SILENT = "silent"
+
+
+@dataclass
+class RoleActivity:
+    """Per-ASN day sets split by role."""
+
+    asn: ASN
+    origin_days: IntervalSet = field(default_factory=IntervalSet)
+    transit_days: IntervalSet = field(default_factory=IntervalSet)
+
+    @property
+    def all_days(self) -> IntervalSet:
+        return self.origin_days.union(self.transit_days)
+
+    def transit_share(self) -> float:
+        """Fraction of active days with transit appearances."""
+        total = self.all_days.total_days
+        if not total:
+            return 0.0
+        return self.transit_days.total_days / total
+
+    def role_over(self, start: Day, end: Day) -> Role:
+        """Classify the ASN's role over an inclusive window."""
+        origin = self.origin_days.clamp(start, end).total_days
+        transit = self.transit_days.clamp(start, end).total_days
+        if not origin and not transit:
+            return Role.SILENT
+        if origin and not transit:
+            return Role.ORIGIN_ONLY
+        if transit and not origin:
+            return Role.TRANSIT_ONLY
+        return Role.MIXED
+
+
+def collect_role_activity(
+    elements_by_day: Mapping[Day, Iterable[BgpElement]],
+) -> Dict[ASN, RoleActivity]:
+    """Split each ASN's daily visibility into origin vs. transit days.
+
+    An ASN counts as *origin* on a day when it terminates at least one
+    path, and as *transit* when it appears in any non-terminal path
+    position that day (both can hold at once).
+    """
+    origin_days: Dict[ASN, List[Day]] = {}
+    transit_days: Dict[ASN, List[Day]] = {}
+    for day, elements in elements_by_day.items():
+        day_origin: set = set()
+        day_transit: set = set()
+        for element in elements:
+            if element.elem_type == WITHDRAW or not element.as_path:
+                continue
+            path = element.path_asns()
+            day_origin.add(path[-1])
+            day_transit.update(path[:-1])
+        for asn in day_origin:
+            origin_days.setdefault(asn, []).append(day)
+        for asn in day_transit:
+            transit_days.setdefault(asn, []).append(day)
+    out: Dict[ASN, RoleActivity] = {}
+    for asn in set(origin_days) | set(transit_days):
+        out[asn] = RoleActivity(
+            asn=asn,
+            origin_days=IntervalSet.from_days(origin_days.get(asn, [])),
+            transit_days=IntervalSet.from_days(transit_days.get(asn, [])),
+        )
+    return out
+
+
+def classify_role(
+    activity: Optional[RoleActivity], start: Day, end: Day
+) -> Role:
+    """Convenience wrapper tolerating missing activity."""
+    if activity is None:
+        return Role.SILENT
+    return activity.role_over(start, end)
+
+
+def role_census(
+    activities: Mapping[ASN, RoleActivity], start: Day, end: Day
+) -> Dict[Role, int]:
+    """Count ASNs by role over a window."""
+    out: Dict[Role, int] = {role: 0 for role in Role}
+    for activity in activities.values():
+        out[activity.role_over(start, end)] += 1
+    return out

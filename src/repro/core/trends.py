@@ -1,0 +1,304 @@
+"""Bird's-eye longitudinal trends (§5 and Appendix A).
+
+Everything here reduces lifetime sets to the series and tables of the
+paper's macro analysis: daily alive counts per registry for both
+dimensions (Fig. 4/13), lifetime multiplicity per ASN (Table 2),
+duration CDFs (Fig. 5/9), quarterly birth rates and birth/death balance
+(Fig. 10/11), 16- vs 32-bit allocation counts (Fig. 12), life duration
+by birth year (Fig. 14), country shares (Table 4), and the 16-bit
+exhaustion accounting (Appendix A).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..asn.numbers import ASN, is_16bit
+from ..lifetimes.records import AdminLifetime, BgpLifetime
+from ..timeline.dates import Day, quarter_of, year_of
+
+__all__ = [
+    "DailySeries",
+    "alive_counts",
+    "alive_counts_by_registry",
+    "lives_per_asn_table",
+    "duration_cdf",
+    "quarterly_birth_rate",
+    "quarterly_balance",
+    "bit_class_counts",
+    "duration_by_birth_year",
+    "country_shares",
+    "crossover_day",
+]
+
+
+@dataclass(frozen=True)
+class DailySeries:
+    """A per-day integer series over an inclusive day window."""
+
+    start: Day
+    values: np.ndarray  # one entry per day
+
+    @property
+    def end(self) -> Day:
+        return self.start + len(self.values) - 1
+
+    def at(self, day: Day) -> int:
+        if not self.start <= day <= self.end:
+            raise ValueError("day outside the series window")
+        return int(self.values[day - self.start])
+
+    def final(self) -> int:
+        return int(self.values[-1])
+
+    def max(self) -> Tuple[Day, int]:
+        idx = int(np.argmax(self.values))
+        return self.start + idx, int(self.values[idx])
+
+
+def _accumulate(
+    intervals: Sequence[Tuple[Day, Day]], start: Day, end: Day
+) -> np.ndarray:
+    """Daily count of intervals covering each day (difference array)."""
+    length = end - start + 1
+    diff = np.zeros(length + 1, dtype=np.int64)
+    for lo, hi in intervals:
+        lo_c, hi_c = max(lo, start), min(hi, end)
+        if lo_c > hi_c:
+            continue
+        diff[lo_c - start] += 1
+        diff[hi_c - start + 1] -= 1
+    return np.cumsum(diff[:-1])
+
+
+def alive_counts(
+    lives: Mapping[ASN, Sequence[AdminLifetime]] | Mapping[ASN, Sequence[BgpLifetime]],
+    start: Day,
+    end: Day,
+) -> DailySeries:
+    """Per-day count of ASNs with a running lifetime (Fig. 4 black lines)."""
+    intervals = [
+        (life.start, life.end) for per_asn in lives.values() for life in per_asn
+    ]
+    return DailySeries(start, _accumulate(intervals, start, end))
+
+
+def alive_counts_by_registry(
+    admin_lives: Mapping[ASN, Sequence[AdminLifetime]],
+    start: Day,
+    end: Day,
+) -> Dict[str, DailySeries]:
+    """Per-registry daily alive counts (Fig. 4 colored solid lines).
+
+    A transferred lifetime counts toward its final registry, matching
+    the dataset's single ``registry`` field.
+    """
+    buckets: Dict[str, List[Tuple[Day, Day]]] = {}
+    for per_asn in admin_lives.values():
+        for life in per_asn:
+            buckets.setdefault(life.registry, []).append((life.start, life.end))
+    return {
+        registry: DailySeries(start, _accumulate(intervals, start, end))
+        for registry, intervals in sorted(buckets.items())
+    }
+
+
+def alive_bgp_counts_by_registry(
+    admin_lives: Mapping[ASN, Sequence[AdminLifetime]],
+    op_lives: Mapping[ASN, Sequence[BgpLifetime]],
+    start: Day,
+    end: Day,
+) -> Dict[str, DailySeries]:
+    """Per-registry daily counts of ASNs alive in BGP (Fig. 4 dashed).
+
+    BGP lifetimes carry no registry, so each ASN's operational activity
+    is attributed to the registry of its (final) administrative life —
+    ASNs never delegated are excluded, as in the paper's per-RIR lines.
+    """
+    registry_of: Dict[ASN, str] = {}
+    for asn, lives in admin_lives.items():
+        if lives:
+            registry_of[asn] = lives[-1].registry
+    buckets: Dict[str, List[Tuple[Day, Day]]] = {}
+    for asn, lives in op_lives.items():
+        registry = registry_of.get(asn)
+        if registry is None:
+            continue
+        for life in lives:
+            buckets.setdefault(registry, []).append((life.start, life.end))
+    return {
+        registry: DailySeries(start, _accumulate(intervals, start, end))
+        for registry, intervals in sorted(buckets.items())
+    }
+
+
+def crossover_day(a: DailySeries, b: DailySeries) -> Optional[Day]:
+    """First day series ``a`` exceeds ``b`` for good (RIPE-passes-ARIN).
+
+    Returns the first day from which ``a`` stays strictly above ``b``
+    until the end of the window, or ``None`` if that never happens.
+    """
+    if a.start != b.start or len(a.values) != len(b.values):
+        raise ValueError("series windows differ")
+    above = a.values > b.values
+    if not above[-1]:
+        return None
+    idx = len(above) - 1
+    while idx > 0 and above[idx - 1]:
+        idx -= 1
+    return a.start + idx
+
+
+def lives_per_asn_table(
+    lives: Mapping[ASN, Sequence[AdminLifetime]] | Mapping[ASN, Sequence[BgpLifetime]],
+    registry_of: Mapping[ASN, str],
+) -> Dict[str, Dict[str, float]]:
+    """Table 2: share of ASNs with 1 / 2 / >2 lifetimes, per registry."""
+    counts: Dict[str, Counter] = {}
+    for asn, per_asn in lives.items():
+        registry = registry_of.get(asn)
+        if registry is None or not per_asn:
+            continue
+        bucket = "1" if len(per_asn) == 1 else "2" if len(per_asn) == 2 else ">2"
+        counts.setdefault(registry, Counter())[bucket] += 1
+    out: Dict[str, Dict[str, float]] = {}
+    for registry, counter in sorted(counts.items()):
+        total = sum(counter.values())
+        out[registry] = {
+            bucket: counter.get(bucket, 0) / total for bucket in ("1", "2", ">2")
+        }
+    overall = Counter()
+    for counter in counts.values():
+        overall.update(counter)
+    total = sum(overall.values())
+    if total:
+        out["total"] = {
+            bucket: overall.get(bucket, 0) / total for bucket in ("1", "2", ">2")
+        }
+    return out
+
+
+def duration_cdf(durations: Sequence[int]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF points (sorted durations, cumulative fractions)."""
+    if not durations:
+        return np.array([]), np.array([])
+    xs = np.sort(np.asarray(durations, dtype=np.int64))
+    ys = np.arange(1, len(xs) + 1) / len(xs)
+    return xs, ys
+
+
+def cdf_at(durations: Sequence[int], threshold: int) -> float:
+    """Fraction of durations <= threshold."""
+    if not durations:
+        return 0.0
+    return sum(1 for d in durations if d <= threshold) / len(durations)
+
+
+def quarterly_birth_rate(
+    admin_lives: Mapping[ASN, Sequence[AdminLifetime]],
+    *,
+    by_reg_date: bool = True,
+) -> Dict[str, Dict[Tuple[int, int], int]]:
+    """Fig. 10: births per (year, quarter) per registry.
+
+    With ``by_reg_date`` the registration date defines the birth (the
+    paper sees allocations "dating back to 1992" this way); otherwise
+    the first delegation-file appearance does.
+    """
+    out: Dict[str, Dict[Tuple[int, int], int]] = {}
+    for per_asn in admin_lives.values():
+        for life in per_asn:
+            birth = life.reg_date if by_reg_date else life.start
+            bucket = quarter_of(birth)
+            registry = out.setdefault(life.registries[0], {})
+            registry[bucket] = registry.get(bucket, 0) + 1
+    return out
+
+
+def quarterly_balance(
+    admin_lives: Mapping[ASN, Sequence[AdminLifetime]],
+    start: Day,
+    end: Day,
+) -> Dict[str, Dict[Tuple[int, int], int]]:
+    """Fig. 11: births minus deaths per quarter per registry."""
+    out: Dict[str, Dict[Tuple[int, int], int]] = {}
+    for per_asn in admin_lives.values():
+        for life in per_asn:
+            registry = out.setdefault(life.registry, {})
+            if start <= life.start <= end:
+                bucket = quarter_of(life.start)
+                registry[bucket] = registry.get(bucket, 0) + 1
+            if not life.open_ended and start <= life.end <= end:
+                bucket = quarter_of(life.end)
+                registry[bucket] = registry.get(bucket, 0) - 1
+    return out
+
+
+def bit_class_counts(
+    admin_lives: Mapping[ASN, Sequence[AdminLifetime]],
+    start: Day,
+    end: Day,
+) -> Dict[str, Dict[str, DailySeries]]:
+    """Fig. 12: per-registry daily allocated counts, split 16/32-bit."""
+    buckets: Dict[str, Dict[str, List[Tuple[Day, Day]]]] = {}
+    for asn, per_asn in admin_lives.items():
+        cls = "16" if is_16bit(asn) else "32"
+        for life in per_asn:
+            per_reg = buckets.setdefault(life.registry, {"16": [], "32": []})
+            per_reg[cls].append((life.start, life.end))
+    return {
+        registry: {
+            cls: DailySeries(start, _accumulate(intervals, start, end))
+            for cls, intervals in classes.items()
+        }
+        for registry, classes in sorted(buckets.items())
+    }
+
+
+def duration_by_birth_year(
+    admin_lives: Mapping[ASN, Sequence[AdminLifetime]],
+) -> Dict[str, Dict[int, List[int]]]:
+    """Fig. 14: per registry, per birth year, the life durations.
+
+    Open-ended lives are included (as the boxplots do — recent cohorts
+    are right-censored by construction).
+    """
+    out: Dict[str, Dict[int, List[int]]] = {}
+    for per_asn in admin_lives.values():
+        for life in per_asn:
+            year = year_of(life.start)
+            out.setdefault(life.registry, {}).setdefault(year, []).append(
+                life.duration
+            )
+    return out
+
+
+def country_shares(
+    admin_lives: Mapping[ASN, Sequence[AdminLifetime]],
+    registry: str,
+    *,
+    as_of: Optional[Day] = None,
+    top: int = 5,
+) -> List[Tuple[str, int, float]]:
+    """Table 4: top countries by alive allocations in one registry.
+
+    ``as_of`` restricts to lives running on that day (the paper's 2010/
+    2015/2021 snapshots); ``None`` counts all lives ever.
+    """
+    counter: Counter = Counter()
+    for per_asn in admin_lives.values():
+        for life in per_asn:
+            if life.registry != registry or not life.cc:
+                continue
+            if as_of is not None and not (life.start <= as_of <= life.end):
+                continue
+            counter[life.cc] += 1
+    total = sum(counter.values())
+    rows = []
+    for cc, count in counter.most_common(top):
+        rows.append((cc, count, count / total if total else 0.0))
+    return rows

@@ -1,0 +1,120 @@
+"""§6.4 — operational lives outside any administrative delegation.
+
+Two sub-populations:
+
+* **once-allocated** ASNs with at least one BGP life entirely outside
+  their administrative lives (799 in the paper) — among them the
+  post-deallocation squats: activity close to the end of an allocation
+  but *far* from the previous BGP life;
+* **never-allocated** ASNs (868) — dominated by fat-finger origins and
+  internal numbering leaks, analyzed in :mod:`repro.core.misconfig`.
+
+Bogon ASNs are excluded up front, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from ..asn.bogons import is_bogon_asn
+from ..asn.numbers import ASN
+from ..lifetimes.records import AdminLifetime, BgpLifetime
+
+__all__ = [
+    "PostDeallocCandidate",
+    "OutsideDelegationStats",
+    "analyze_outside_delegation",
+]
+
+
+@dataclass(frozen=True)
+class PostDeallocCandidate:
+    """A BGP life after deallocation, shaped like the AS12391 case:
+    close to the administrative end, far from the last BGP activity."""
+
+    asn: ASN
+    op_start: int
+    op_end: int
+    days_after_dealloc: int
+    days_since_last_op: Optional[int]
+
+
+@dataclass
+class OutsideDelegationStats:
+    """Aggregates of the §6.4 analysis."""
+
+    outside_op_lives: int = 0
+    once_allocated_asns: Set[ASN] = field(default_factory=set)
+    never_allocated_asns: Set[ASN] = field(default_factory=set)
+    post_dealloc_candidates: List[PostDeallocCandidate] = field(default_factory=list)
+    never_allocated_durations: Dict[ASN, int] = field(default_factory=dict)
+    excluded_bogons: int = 0
+
+    def never_allocated_active_longer_than(self, days: int) -> int:
+        """Count of never-allocated ASNs active for more than ``days``
+        in total (the paper reports >1 day: 427, >1 month: 186, >1
+        year: 15)."""
+        return sum(1 for d in self.never_allocated_durations.values() if d > days)
+
+
+def analyze_outside_delegation(
+    admin_lives: Mapping[ASN, Sequence[AdminLifetime]],
+    op_lives: Mapping[ASN, Sequence[BgpLifetime]],
+    *,
+    squat_proximity_days: int = 90,
+    squat_dormancy_days: int = 1000,
+) -> OutsideDelegationStats:
+    """Split the outside-delegation population and flag likely squats.
+
+    A once-allocated outside life becomes a post-deallocation squat
+    candidate when it starts within ``squat_proximity_days`` of an
+    administrative end while the ASN's previous BGP activity (if any)
+    ended more than ``squat_dormancy_days`` earlier — the AS12391
+    pattern (3 days after deallocation, 3,898 days after the last BGP
+    life).
+    """
+    stats = OutsideDelegationStats()
+    for asn, ops in op_lives.items():
+        if is_bogon_asn(asn):
+            stats.excluded_bogons += 1
+            continue
+        admins = admin_lives.get(asn, ())
+        outside = [
+            op
+            for op in ops
+            if not any(op.interval.overlaps(a.interval) for a in admins)
+        ]
+        if not outside:
+            continue
+        stats.outside_op_lives += len(outside)
+        if admins:
+            stats.once_allocated_asns.add(asn)
+            sorted_ops = sorted(ops, key=lambda l: l.start)
+            for op in outside:
+                ended_before = [a for a in admins if a.end < op.start]
+                if not ended_before:
+                    continue
+                nearest_end = max(a.end for a in ended_before)
+                days_after = op.start - nearest_end
+                if days_after > squat_proximity_days:
+                    continue
+                previous = [o for o in sorted_ops if o.end < op.start]
+                days_since_op = (
+                    op.start - max(o.end for o in previous) if previous else None
+                )
+                if days_since_op is not None and days_since_op < squat_dormancy_days:
+                    continue
+                stats.post_dealloc_candidates.append(
+                    PostDeallocCandidate(
+                        asn=asn,
+                        op_start=op.start,
+                        op_end=op.end,
+                        days_after_dealloc=days_after,
+                        days_since_last_op=days_since_op,
+                    )
+                )
+        else:
+            stats.never_allocated_asns.add(asn)
+            stats.never_allocated_durations[asn] = sum(o.duration for o in ops)
+    return stats

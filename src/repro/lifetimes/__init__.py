@@ -1,0 +1,57 @@
+"""Lifetime construction: administrative (§4.1) and operational (§4.2)."""
+
+from .admin import admin_lifetimes_for_stints, build_admin_lifetimes
+from .bgp import (
+    DEFAULT_TIMEOUT,
+    OperationalActivity,
+    activity_from_elements,
+    build_bgp_lifetimes,
+    lifetimes_from_activity,
+)
+from .io import (
+    dump_admin_dataset,
+    dump_bgp_dataset,
+    load_admin_dataset,
+    load_bgp_dataset,
+)
+from .prefix_aware import (
+    PrefixedLifetime,
+    build_prefix_aware_lifetimes,
+    daily_prefixes_from_elements,
+    jaccard,
+    segment_prefix_aware,
+)
+from .records import AdminLifetime, BgpLifetime
+from .sensitivity import (
+    TimeoutSweep,
+    fraction_one_or_less_op_life,
+    gap_cdf,
+    gap_distribution,
+    sweep_timeouts,
+)
+
+__all__ = [
+    "AdminLifetime",
+    "BgpLifetime",
+    "build_admin_lifetimes",
+    "admin_lifetimes_for_stints",
+    "OperationalActivity",
+    "build_bgp_lifetimes",
+    "lifetimes_from_activity",
+    "activity_from_elements",
+    "DEFAULT_TIMEOUT",
+    "gap_distribution",
+    "gap_cdf",
+    "fraction_one_or_less_op_life",
+    "TimeoutSweep",
+    "sweep_timeouts",
+    "dump_admin_dataset",
+    "dump_bgp_dataset",
+    "load_admin_dataset",
+    "load_bgp_dataset",
+    "PrefixedLifetime",
+    "segment_prefix_aware",
+    "build_prefix_aware_lifetimes",
+    "daily_prefixes_from_elements",
+    "jaccard",
+]

@@ -1,0 +1,114 @@
+"""Lifetime record types — the paper's two published datasets.
+
+Listing 1 of the paper shows one record of each:
+
+.. code-block:: json
+
+    {"ASN": 205334, "regDate": "2017-09-20", "startdate": "2017-09-20",
+     "enddate": "2021-02-11", "status": "allocated", "registry": "ripencc"}
+
+    {"ASN": 205334, "startdate": "2017-10-05", "enddate": "2017-10-23"}
+
+``open_ended`` marks lifetimes still running on the last observed day;
+duration statistics that would be censored (e.g. the §6.1.1 late-
+deallocation delays) exclude them, as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..asn.numbers import ASN
+from ..timeline.dates import Day, to_iso
+from ..timeline.intervals import Interval
+
+__all__ = ["AdminLifetime", "BgpLifetime"]
+
+
+@dataclass(frozen=True)
+class AdminLifetime:
+    """One administrative lifetime of an ASN (§4.1).
+
+    ``registries`` records the holding registry over time; inter-RIR
+    transfers with no gap keep the lifetime whole (§4.1), so the tuple
+    can have more than one element.  ``registry`` (the dataset field)
+    is the registry holding the ASN at the end of the life.
+    """
+
+    asn: ASN
+    start: Day
+    end: Day
+    reg_date: Day
+    registries: Tuple[str, ...]
+    cc: str = ""
+    org_id: Optional[str] = None
+    open_ended: bool = False
+    via_nir: bool = False
+    #: True when the ASN was already present in the registry's very
+    #: first delegation file: the observed start is left-censored, and
+    #: the lifetime has been back-dated to the registration date.
+    left_censored: bool = False
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("lifetime ends before it starts")
+        if not self.registries:
+            raise ValueError("lifetime needs at least one registry")
+
+    @property
+    def registry(self) -> str:
+        return self.registries[-1]
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.start, self.end)
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start + 1
+
+    @property
+    def transferred(self) -> bool:
+        return len(self.registries) > 1
+
+    def to_json_dict(self) -> dict:
+        """The Listing 1 administrative record."""
+        return {
+            "ASN": self.asn,
+            "regDate": to_iso(self.reg_date),
+            "startdate": to_iso(self.start),
+            "enddate": to_iso(self.end),
+            "status": "allocated",
+            "registry": self.registry,
+        }
+
+
+@dataclass(frozen=True)
+class BgpLifetime:
+    """One operational (BGP) lifetime of an ASN (§4.2)."""
+
+    asn: ASN
+    start: Day
+    end: Day
+    open_ended: bool = False
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("lifetime ends before it starts")
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.start, self.end)
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start + 1
+
+    def to_json_dict(self) -> dict:
+        """The Listing 1 operational record."""
+        return {
+            "ASN": self.asn,
+            "startdate": to_iso(self.start),
+            "enddate": to_iso(self.end),
+        }

@@ -1,0 +1,17 @@
+"""IP prefix substrate used by the BGP layer."""
+
+from .prefix import (
+    GLOBAL_V4_MAX_LEN,
+    GLOBAL_V4_MIN_LEN,
+    GLOBAL_V6_MAX_LEN,
+    GLOBAL_V6_MIN_LEN,
+    Prefix,
+)
+
+__all__ = [
+    "Prefix",
+    "GLOBAL_V4_MIN_LEN",
+    "GLOBAL_V4_MAX_LEN",
+    "GLOBAL_V6_MIN_LEN",
+    "GLOBAL_V6_MAX_LEN",
+]

@@ -1,0 +1,127 @@
+"""IP prefix type used by the BGP substrate.
+
+The sanitization step of §3.2 discards paths to prefixes "either longer
+than /24 or shorter than /8 for IPv4 and longer than /64 or shorter
+than /8 for IPv6, since they should not be globally propagated".  The
+§6 analyses additionally need prefix containment to recognize MOAS and
+SubMOAS conflicts.  A small immutable value type keeps those operations
+cheap on the hot path (billions of records at paper scale); parsing and
+rendering delegate to :mod:`ipaddress` only at I/O boundaries.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from functools import lru_cache
+
+__all__ = [
+    "Prefix",
+    "GLOBAL_V4_MIN_LEN",
+    "GLOBAL_V4_MAX_LEN",
+    "GLOBAL_V6_MIN_LEN",
+    "GLOBAL_V6_MAX_LEN",
+]
+
+GLOBAL_V4_MIN_LEN = 8
+GLOBAL_V4_MAX_LEN = 24
+GLOBAL_V6_MIN_LEN = 8
+GLOBAL_V6_MAX_LEN = 64
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """An IPv4 or IPv6 prefix ``network/length``.
+
+    ``network`` is the integer value of the network address with host
+    bits zeroed; ``length`` the mask length; ``version`` 4 or 6.
+    """
+
+    version: int
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.version not in (4, 6):
+            raise ValueError(f"IP version must be 4 or 6, got {self.version}")
+        bits = self.bits
+        if not 0 <= self.length <= bits:
+            raise ValueError(f"/{self.length} invalid for IPv{self.version}")
+        if self.network >> bits:
+            raise ValueError("network value exceeds the address width")
+        host_bits = bits - self.length
+        if host_bits and self.network & ((1 << host_bits) - 1):
+            raise ValueError(f"host bits set in {self!r}")
+
+    @property
+    def bits(self) -> int:
+        """Address width: 32 for IPv4, 128 for IPv6."""
+        return 32 if self.version == 4 else 128
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` or ``"x::/len"`` notation."""
+        return _parse_cached(text)
+
+    @classmethod
+    def v4(cls, network: int, length: int) -> "Prefix":
+        """Construct an IPv4 prefix from raw integers."""
+        return cls(4, network, length)
+
+    @classmethod
+    def v6(cls, network: int, length: int) -> "Prefix":
+        """Construct an IPv6 prefix from raw integers."""
+        return cls(6, network, length)
+
+    def __str__(self) -> str:
+        if self.version == 4:
+            addr: ipaddress._BaseAddress = ipaddress.IPv4Address(self.network)
+        else:
+            addr = ipaddress.IPv6Address(self.network)
+        return f"{addr}/{self.length}"
+
+    def contains(self, other: "Prefix") -> bool:
+        """True when ``other`` is equal to or more specific than this.
+
+        A /16 contains all its /17../32 sub-prefixes and itself.
+        """
+        if self.version != other.version or other.length < self.length:
+            return False
+        shift = self.bits - self.length
+        return (self.network >> shift) == (other.network >> shift)
+
+    def strictly_contains(self, other: "Prefix") -> bool:
+        """True when ``other`` is a *more specific* sub-prefix (SubMOAS)."""
+        return self.contains(other) and other.length > self.length
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """True when the two prefixes share any address."""
+        return self.contains(other) or other.contains(self)
+
+    def is_globally_routable_length(self) -> bool:
+        """§3.2 sanitization rule: keep only /8../24 (v4), /8../64 (v6)."""
+        if self.version == 4:
+            return GLOBAL_V4_MIN_LEN <= self.length <= GLOBAL_V4_MAX_LEN
+        return GLOBAL_V6_MIN_LEN <= self.length <= GLOBAL_V6_MAX_LEN
+
+    def subprefix(self, index: int, length: int) -> "Prefix":
+        """Return the ``index``-th sub-prefix of the given longer length.
+
+        Used by the workload generator to carve an organization's
+        address block into announced prefixes.
+        """
+        if length < self.length:
+            raise ValueError("subprefix length must not be shorter")
+        if length > self.bits:
+            raise ValueError(f"/{length} invalid for IPv{self.version}")
+        slots = 1 << (length - self.length)
+        if not 0 <= index < slots:
+            raise ValueError(f"index {index} outside 0..{slots - 1}")
+        network = self.network | (index << (self.bits - length))
+        return Prefix(self.version, network, length)
+
+
+@lru_cache(maxsize=65536)
+def _parse_cached(text: str) -> Prefix:
+    net = ipaddress.ip_network(text, strict=True)
+    return Prefix(net.version, int(net.network_address), net.prefixlen)

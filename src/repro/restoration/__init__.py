@@ -1,0 +1,33 @@
+"""The §3.1 delegation-archive restoration pipeline."""
+
+from .compat import records_compatible
+from .duplicates import resolve_duplicate_records
+from .gaps import bridge_unavailable_gaps
+from .interrir import clean_inter_rir_overlaps
+from .pipeline import RestoredDelegations, restore_archive
+from .records import DEFAULT_MAX_GAP, recover_dropped_records
+from .regdates import restore_registration_dates
+from .report import RestorationReport, StepReport
+from .scoring import DefectScore, render_scores, score_restoration
+from .sameday import measure_sameday_divergence
+from .view import RegistryView, build_registry_view
+
+__all__ = [
+    "restore_archive",
+    "RestoredDelegations",
+    "RestorationReport",
+    "StepReport",
+    "RegistryView",
+    "build_registry_view",
+    "records_compatible",
+    "measure_sameday_divergence",
+    "recover_dropped_records",
+    "bridge_unavailable_gaps",
+    "resolve_duplicate_records",
+    "restore_registration_dates",
+    "clean_inter_rir_overlaps",
+    "DEFAULT_MAX_GAP",
+    "DefectScore",
+    "score_restoration",
+    "render_scores",
+]

@@ -1,0 +1,23 @@
+"""Record-compatibility predicate shared by the restoration steps.
+
+Regular-era rows carry no opaque id, so "the same delegation" must be
+recognizable across file kinds: equal registry, status, country and
+registration date, with opaque ids compared only when both present.
+"""
+
+from __future__ import annotations
+
+from ..rir.model import DelegationRecord
+
+__all__ = ["records_compatible"]
+
+
+def records_compatible(a: DelegationRecord, b: DelegationRecord) -> bool:
+    """True when two rows plausibly describe the same delegation state."""
+    if a.registry != b.registry or a.status is not b.status:
+        return False
+    if a.reg_date != b.reg_date or a.cc != b.cc:
+        return False
+    if a.opaque_id is not None and b.opaque_id is not None:
+        return a.opaque_id == b.opaque_id
+    return True

@@ -1,0 +1,57 @@
+"""§3.1 step (i): bridge gaps caused by missing or corrupted files.
+
+"If an AS appears in both the day before and the day after an empty or
+missing file, we assume that the AS is also allocated in the missing
+day.  Otherwise, we use as reference for its starting (ending) date the
+first (last) day it shows in the delegated files."
+
+A gap between two consecutive stints of an ASN is bridged when every
+day of the gap lacked a usable authoritative file and the flanking rows
+are compatible.  Boundary degradation (a life starting *on* a missing
+day) is inherently unrecoverable and stays at the first-seen day, as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..rir.archive import Stint
+from ..timeline.dates import Day
+from .compat import records_compatible
+from .report import RestorationReport
+from .view import RegistryView
+
+__all__ = ["bridge_unavailable_gaps"]
+
+
+def _all_unavailable(start: Day, end: Day, unavailable: Set[Day]) -> bool:
+    return all(day in unavailable for day in range(start, end + 1))
+
+
+def bridge_unavailable_gaps(
+    views: Dict[str, RegistryView], report: RestorationReport
+) -> None:
+    """Merge stints separated only by file-less days (in place)."""
+    step = report.step("i-missing-file-gaps")
+    for registry, view in sorted(views.items()):
+        if not view.unavailable_days:
+            continue
+        bridged = 0
+        for asn, stints in view.stints.items():
+            i = 0
+            while i + 1 < len(stints):
+                left, right = stints[i], stints[i + 1]
+                gap_start, gap_end = left.end + 1, right.start - 1
+                if (
+                    gap_start <= gap_end
+                    and records_compatible(left.record, right.record)
+                    and _all_unavailable(gap_start, gap_end, view.unavailable_days)
+                ):
+                    stints[i] = Stint(left.start, right.end, left.record)
+                    del stints[i + 1]
+                    bridged += 1
+                    continue
+                i += 1
+        if bridged:
+            step.bump(f"{registry}_gaps_bridged", bridged)

@@ -1,0 +1,140 @@
+"""§3.1 step (vi): clean inter-RIR inconsistencies.
+
+"We find some 450 ASNs that — at different points in time — are
+simultaneously being allocated or reserved in multiple RIRs ... the two
+main reasons are (i) transfers where the 'origin' RIR temporarily
+maintains stale data ... and (ii) mistaken (apparent) allocations, some
+by RIRs who have not been assigned those ASN blocks from IANA."
+
+Resolution mirrors the paper: a registry showing an ASN whose IANA
+block it never held has its rows removed outright; for transfer-shaped
+overlaps, the origin registry's stale tail is trimmed to end when the
+destination's delegation starts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..asn.blocks import IanaLedger
+from ..asn.numbers import ASN
+from ..rir.archive import Stint
+from .report import RestorationReport
+from .view import RegistryView
+
+__all__ = ["clean_inter_rir_overlaps"]
+
+
+def _delegated_span(stints: List[Stint]) -> List[Tuple[int, int, Stint]]:
+    return [(s.start, s.end, s) for s in stints if s.record.is_delegated]
+
+
+def clean_inter_rir_overlaps(
+    views: Dict[str, RegistryView],
+    report: RestorationReport,
+    *,
+    ledger: Optional[IanaLedger] = None,
+) -> Set[ASN]:
+    """Remove or trim conflicting cross-registry rows (in place).
+
+    Returns the set of ASNs that had an inter-RIR overlap, which the
+    paper reports (~450).
+    """
+    step = report.step("vi-inter-rir")
+    # collect every ASN delegated by more than one registry
+    holders: Dict[ASN, List[str]] = {}
+    for registry, view in views.items():
+        for asn, stints in view.stints.items():
+            if any(s.record.is_delegated for s in stints):
+                holders.setdefault(asn, []).append(registry)
+    overlapping: Set[ASN] = set()
+
+    for asn, registries in sorted(holders.items()):
+        if len(registries) < 2:
+            continue
+        spans = {
+            registry: _delegated_span(views[registry].stints.get(asn, []))
+            for registry in registries
+        }
+        for i, reg_a in enumerate(sorted(registries)):
+            for reg_b in sorted(registries)[i + 1 :]:
+                if _overlap_between(spans[reg_a], spans[reg_b]):
+                    overlapping.add(asn)
+        if asn not in overlapping:
+            continue
+
+        # (ii) mistaken allocations: a registry that never held the block
+        if ledger is not None:
+            rightful = ledger.rir_of(asn)
+            for registry in sorted(registries):
+                if rightful is not None and registry != rightful:
+                    if not _looks_like_transfer(views, registry, asn):
+                        _drop_asn(views[registry], asn)
+                        step.bump("mistaken_allocations_removed")
+        # (i) transfer stale tails: trim the earlier holder at the
+        # later holder's start
+        _trim_stale_tails(views, asn, registries, step)
+
+    step.bump("asns_with_overlaps", len(overlapping))
+    return overlapping
+
+
+def _overlap_between(a, b) -> bool:
+    for s1, e1, _ in a:
+        for s2, e2, _ in b:
+            if s1 <= e2 and s2 <= e1:
+                return True
+    return False
+
+
+def _looks_like_transfer(
+    views: Dict[str, RegistryView], registry: str, asn: ASN
+) -> bool:
+    """Transfer targets hold the ASN durably (long delegated tail);
+    mistaken allocations are isolated rows with a bogus org id."""
+    stints = views[registry].stints.get(asn, [])
+    for stint in stints:
+        rec = stint.record
+        if rec.is_delegated and rec.opaque_id and rec.opaque_id.startswith("GHOST-"):
+            return False
+    return True
+
+
+def _drop_asn(view: RegistryView, asn: ASN) -> None:
+    view.stints.pop(asn, None)
+    view.regular_stints.pop(asn, None)
+
+
+def _trim_stale_tails(
+    views: Dict[str, RegistryView],
+    asn: ASN,
+    registries: List[str],
+    step,
+) -> None:
+    """For each overlapping pair, the registry whose delegation started
+    earlier is the origin: its rows are cut at the destination's start."""
+    infos = []
+    for registry in registries:
+        spans = _delegated_span(views[registry].stints.get(asn, []))
+        if spans:
+            infos.append((min(s for s, _, _ in spans), registry))
+    infos.sort()
+    for (start_a, reg_a), (start_b, reg_b) in zip(infos, infos[1:]):
+        if start_a == start_b:
+            continue
+        view_a = views[reg_a]
+        stints = view_a.stints.get(asn, [])
+        trimmed: List[Stint] = []
+        changed = False
+        for stint in stints:
+            if not stint.record.is_delegated or stint.end < start_b:
+                trimmed.append(stint)
+                continue
+            if stint.start >= start_b:
+                changed = True  # entirely stale
+                continue
+            trimmed.append(Stint(stint.start, start_b - 1, stint.record))
+            changed = True
+        if changed:
+            view_a.stints[asn] = trimmed
+            step.bump("stale_transfer_tails_trimmed")

@@ -1,0 +1,107 @@
+"""Orchestration of the six-step §3.1 restoration.
+
+``restore_archive`` runs the steps in order over per-registry views and
+returns a :class:`RestoredDelegations` — the cleaned, cross-registry
+observation timeline that §4.1 lifetime inference consumes — together
+with the :class:`RestorationReport` quantifying every repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..asn.blocks import IanaLedger
+from ..asn.numbers import ASN
+from ..rir.archive import DelegationArchive, Stint
+from ..timeline.dates import Day
+from .duplicates import resolve_duplicate_records
+from .gaps import bridge_unavailable_gaps
+from .interrir import clean_inter_rir_overlaps
+from .records import recover_dropped_records
+from .regdates import restore_registration_dates
+from .report import RestorationReport
+from .sameday import measure_sameday_divergence
+from .view import RegistryView, build_registry_view
+
+__all__ = ["RestoredDelegations", "restore_archive"]
+
+
+@dataclass
+class RestoredDelegations:
+    """The cleaned observation timeline, merged across registries.
+
+    ``stints[asn]`` is the chronological list of observed rows for one
+    ASN across all five registries (delegated, reserved, and available
+    states alike).  ``views`` retains the per-registry views for
+    analyses that need them.
+    """
+
+    stints: Dict[ASN, List[Stint]] = field(default_factory=dict)
+    views: Dict[str, RegistryView] = field(default_factory=dict)
+    end_day: Day = 0
+
+    def asns(self) -> List[ASN]:
+        return sorted(self.stints)
+
+    def delegated_stints(self, asn: ASN) -> List[Stint]:
+        return [s for s in self.stints.get(asn, []) if s.record.is_delegated]
+
+    def registries_of(self, asn: ASN) -> List[str]:
+        """Registries that ever delegated this ASN, in first-seen order."""
+        seen: List[str] = []
+        for stint in self.stints.get(asn, []):
+            if stint.record.is_delegated and stint.record.registry not in seen:
+                seen.append(stint.record.registry)
+        return seen
+
+
+def restore_archive(
+    archive: DelegationArchive,
+    *,
+    erx_reference: Optional[Mapping[ASN, Day]] = None,
+    ledger: Optional[IanaLedger] = None,
+) -> tuple:
+    """Run the full §3.1 restoration over an archive.
+
+    Parameters
+    ----------
+    archive:
+        The (possibly defect-ridden) delegation archive.
+    erx_reference:
+        Original registration dates for ERX-transferred ASNs (the
+        equivalent of ARIN's pre-delegation-file records), used to
+        repair placeholder dates.
+    ledger:
+        The IANA block ledger, used to spot mistaken allocations.
+
+    Returns
+    -------
+    (RestoredDelegations, RestorationReport)
+    """
+    report = RestorationReport()
+    views: Dict[str, RegistryView] = {
+        registry: build_registry_view(archive, registry)
+        for registry in archive.registries()
+    }
+
+    # Step order mirrors §3.1: same-day resolution is implicit in the
+    # authoritative view and measured first; record recovery must run
+    # before gap bridging so that drops repaired from the regular feed
+    # are not mistaken for file outages; duplicates are resolved before
+    # dates so date repair sees one row per day; inter-RIR cleanup runs
+    # last because it compares already-clean per-registry timelines.
+    measure_sameday_divergence(views, report)
+    recover_dropped_records(views, report)
+    bridge_unavailable_gaps(views, report)
+    resolve_duplicate_records(views, report)
+    restore_registration_dates(views, report, erx_reference=erx_reference)
+    clean_inter_rir_overlaps(views, report, ledger=ledger)
+
+    restored = RestoredDelegations(views=views, end_day=archive.end_day)
+    for view in views.values():
+        for asn, stints in view.stints.items():
+            restored.stints.setdefault(asn, []).extend(stints)
+    for stints in restored.stints.values():
+        stints.sort(key=lambda s: (s.start, s.end))
+    return restored, report

@@ -1,0 +1,93 @@
+"""§3.1 step (ii): recover records that dropped out of extended files.
+
+"When a group of ASes (from few hundreds to few thousands) disappears
+for one or a few days from the extended delegation file(s), we can
+recover information by leveraging the data still present in the
+corresponding regular delegation file(s)."
+
+For every gap between consecutive authoritative stints of an ASN inside
+the extended era, if the regular feed shows a compatible delegated row
+over the whole gap, the gap is filled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..rir.archive import Stint
+from .compat import records_compatible
+from .report import RestorationReport
+from .view import RegistryView
+
+__all__ = ["recover_dropped_records", "DEFAULT_MAX_GAP"]
+
+#: Longest gap (days) this step will bridge; real drops last "one or a
+#: few days", so anything longer is treated as a genuine state change.
+DEFAULT_MAX_GAP = 30
+
+
+def _regular_covers(
+    regular: List[Stint], start: int, end: int, reference: Stint
+) -> bool:
+    """True when the regular feed shows a row compatible with
+    ``reference`` on every day of [start, end]."""
+    day = start
+    for stint in regular:
+        if stint.end < day:
+            continue
+        if stint.start > day:
+            return False
+        if not records_compatible(stint.record, reference.record):
+            return False
+        day = stint.end + 1
+        if day > end:
+            return True
+    return day > end
+
+
+def recover_dropped_records(
+    views: Dict[str, RegistryView],
+    report: RestorationReport,
+    *,
+    max_gap: int = DEFAULT_MAX_GAP,
+) -> None:
+    """Fill extended-era gaps confirmed by the regular feed (in place)."""
+    step = report.step("ii-missing-records")
+    for registry, view in sorted(views.items()):
+        if view.extended_start is None or view.regular_last_day is None:
+            continue
+        filled_asns = 0
+        filled_days = 0
+        for asn, stints in view.stints.items():
+            regular = view.regular_stints.get(asn)
+            if not regular:
+                continue
+            i = 0
+            while i + 1 < len(stints):
+                left, right = stints[i], stints[i + 1]
+                gap_start, gap_end = left.end + 1, right.start - 1
+                if gap_start > gap_end:
+                    i += 1
+                    continue
+                gap_len = gap_end - gap_start + 1
+                if (
+                    gap_len <= max_gap
+                    and gap_start >= view.extended_start
+                    and gap_end <= (view.regular_last_day or gap_end)
+                    and left.record.is_delegated
+                    and records_compatible(left.record, right.record)
+                    and not any(
+                        d in view.regular_unavailable_days
+                        for d in range(gap_start, gap_end + 1)
+                    )
+                    and _regular_covers(regular, gap_start, gap_end, left)
+                ):
+                    stints[i] = Stint(left.start, right.end, left.record)
+                    del stints[i + 1]
+                    filled_asns += 1
+                    filled_days += gap_len
+                    continue  # re-examine the merged stint
+                i += 1
+        if filled_asns:
+            step.bump(f"{registry}_records_recovered", filled_asns)
+            step.bump(f"{registry}_days_recovered", filled_days)

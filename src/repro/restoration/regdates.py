@@ -1,0 +1,97 @@
+"""§3.1 step (v): restore inconsistent registration dates.
+
+Three phenomena, with the paper's remedies:
+
+* **future dates** — a registration date later than the file date the
+  record first appeared in (AfriNIC, a few days off): use the first
+  appearance day as the registration date;
+* **placeholder dates** — RIPE NCC records whose date travelled back to
+  1993-09-01, all traced to ERX transfers: restore the original date
+  from the pre-delegation-file reference data (the paper used ARIN's
+  published early-registration list; we accept the equivalent mapping);
+* **other backward travel** — within one uninterrupted delegated run, a
+  date only legitimately changes *forward* (administrative correction,
+  §4.1); a backward change is repaired to the earliest date published
+  for the run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..asn.numbers import ASN
+from ..rir.archive import Stint
+from ..rir.pitfalls import ERX_PLACEHOLDER_DATE
+from ..timeline.dates import Day
+from .report import RestorationReport
+from .view import RegistryView
+
+__all__ = ["restore_registration_dates"]
+
+
+def restore_registration_dates(
+    views: Dict[str, RegistryView],
+    report: RestorationReport,
+    *,
+    erx_reference: Optional[Mapping[ASN, Day]] = None,
+) -> None:
+    """Apply the three date repairs (in place)."""
+    step = report.step("v-registration-dates")
+    erx_reference = erx_reference or {}
+    for registry, view in sorted(views.items()):
+        future_fixed = placeholder_fixed = backward_fixed = 0
+        for asn, stints in view.stints.items():
+            run_earliest: Optional[Day] = None
+            previous_delegated: Optional[Stint] = None
+            for idx, stint in enumerate(stints):
+                record = stint.record
+                if not record.is_delegated:
+                    run_earliest = None
+                    previous_delegated = None
+                    continue
+                date = record.reg_date
+                # (a) future date relative to first appearance
+                if date is not None and date > stint.start:
+                    stints[idx] = Stint(stint.start, stint.end,
+                                        record.with_date(stint.start))
+                    record = stints[idx].record
+                    date = stint.start
+                    future_fixed += 1
+                # (b) ERX placeholder
+                if date == ERX_PLACEHOLDER_DATE and asn in erx_reference:
+                    stints[idx] = Stint(
+                        stint.start, stint.end,
+                        record.with_date(erx_reference[asn]),
+                    )
+                    record = stints[idx].record
+                    date = record.reg_date
+                    placeholder_fixed += 1
+                # (c) backward travel inside a continuous delegated run
+                contiguous = (
+                    previous_delegated is not None
+                    and previous_delegated.end + 1 == stint.start
+                )
+                if (
+                    contiguous
+                    and run_earliest is not None
+                    and date is not None
+                    and date < run_earliest
+                    and date != ERX_PLACEHOLDER_DATE
+                ):
+                    # the date moved back: trust the earliest published one
+                    stints[idx] = Stint(stint.start, stint.end,
+                                        record.with_date(run_earliest))
+                    record = stints[idx].record
+                    date = run_earliest
+                    backward_fixed += 1
+                if not contiguous:
+                    run_earliest = date
+                elif date is not None and (run_earliest is None or date < run_earliest):
+                    run_earliest = date
+                previous_delegated = stints[idx]
+        if future_fixed:
+            step.bump(f"{registry}_future_dates_fixed", future_fixed)
+        if placeholder_fixed:
+            step.bump(f"{registry}_placeholder_dates_fixed", placeholder_fixed)
+        if backward_fixed:
+            step.bump(f"{registry}_backward_dates_fixed", backward_fixed)

@@ -1,0 +1,93 @@
+"""§3.1 step (iii): same-day regular/extended divergence.
+
+When both file kinds exist for a day, their content occasionally
+differs (the paper finds this on 1.8% of days, never for AfriNIC); the
+newer file (by header serial) wins — in practice the extended one,
+since the typical cause is a stale regular file.  The pipeline's
+authoritative view already prefers the extended feed, so this step's
+job is to *measure* the divergence (reported per registry) — except
+for the disappears-from-newest case, which step (ii) repairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..rir.archive import Stint
+from ..timeline.dates import Day
+from .report import RestorationReport
+from .view import RegistryView
+
+__all__ = ["measure_sameday_divergence"]
+
+
+def _diff_days(a: list, b: list, lo: Day, hi: Day, skip: Set[Day]) -> Set[Day]:
+    """Days in [lo, hi] on which two stint lists disagree about the row.
+
+    Days in ``skip`` (either feed missing/corrupt) cannot be compared
+    and never count as divergence.
+    """
+
+    def row_on(stints: list, day: Day):
+        for stint in stints:
+            if stint.start <= day <= stint.end:
+                rec = stint.record
+                return (rec.status, rec.reg_date, rec.cc)
+        return None
+
+    # disagreement can only start or stop at a stint boundary
+    boundaries: Set[Day] = set()
+    for stint in a + b:
+        for day in (stint.start, stint.end, stint.end + 1):
+            if lo <= day <= hi:
+                boundaries.add(day)
+    out: Set[Day] = set()
+    for day in boundaries:
+        if day in skip:
+            continue
+        if row_on(a, day) != row_on(b, day):
+            out.add(day)
+            probe = day + 1
+            while probe <= hi and probe not in skip and row_on(a, probe) != row_on(b, probe):
+                out.add(probe)
+                probe += 1
+    return out
+
+
+def measure_sameday_divergence(
+    views: Dict[str, RegistryView], report: RestorationReport
+) -> Dict[str, Set[Day]]:
+    """Report the days each registry's two feeds disagreed.
+
+    Returns the divergent-day sets (used by tests); resolution itself is
+    implicit in the authoritative view (extended wins).
+    """
+    step = report.step("iii-same-day-divergence")
+    out: Dict[str, Set[Day]] = {}
+    for registry, view in sorted(views.items()):
+        if view.extended_start is None:
+            continue
+        if view.regular_last_day is None:
+            continue
+        divergent: Set[Day] = set()
+        lo = view.extended_start
+        hi = min(view.last_day, view.regular_last_day)
+        if lo > hi:
+            continue
+        skip = view.unavailable_days | view.regular_unavailable_days
+        for asn, auth_stints in view.stints.items():
+            reg_stints = view.regular_stints.get(asn, [])
+            ext_era_auth = [s for s in auth_stints if s.end >= lo]
+            ext_era_reg = [
+                s for s in reg_stints if s.end >= lo and s.record.is_delegated
+            ]
+            delegated_auth = [s for s in ext_era_auth if s.record.is_delegated]
+            if not delegated_auth and not ext_era_reg:
+                continue
+            divergent |= _diff_days(delegated_auth, ext_era_reg, lo, hi, skip)
+        if divergent:
+            out[registry] = divergent
+            step.bump(f"{registry}_divergent_days", len(divergent))
+        if registry == "afrinic" and divergent:
+            step.note("unexpected: AfriNIC feeds diverged")
+    return out

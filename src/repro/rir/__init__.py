@@ -1,0 +1,75 @@
+"""RIR substrate: delegation records, file formats, registry state
+machines, per-RIR policies, archives, and defect injection."""
+
+from .archive import DelegationArchive, FileState, SourceWindow, Stint
+from .ftp import MirrorReader, export_archive, file_name
+from .formats import (
+    EXTENDED_VERSION,
+    REGULAR_VERSION,
+    DelegationFileError,
+    compress_records,
+    parse_snapshot,
+    serialize_snapshot,
+)
+from .model import (
+    ARIN_REGULAR_STOP,
+    FIRST_EXTENDED_FILE,
+    FIRST_REGULAR_FILE,
+    RIR_NAMES,
+    DelegationRecord,
+    DelegationSnapshot,
+    Status,
+)
+from .overlay import EXTENDED, REGULAR, ArchiveOverlay, SourceKey
+from .pitfalls import (
+    ERX_PLACEHOLDER_DATE,
+    InjectedDefect,
+    PitfallConfig,
+    PitfallInjector,
+    TransferRecord,
+)
+from .policies import DEFAULT_POLICIES, RirPolicy, default_policy
+from .whowas import HoldingRecord, Retry32BitFinding, WhoWas
+from .registry import Allocation, Registry, RegistryError, Reservation
+
+__all__ = [
+    "RIR_NAMES",
+    "FIRST_REGULAR_FILE",
+    "FIRST_EXTENDED_FILE",
+    "ARIN_REGULAR_STOP",
+    "Status",
+    "DelegationRecord",
+    "DelegationSnapshot",
+    "DelegationFileError",
+    "REGULAR_VERSION",
+    "EXTENDED_VERSION",
+    "serialize_snapshot",
+    "parse_snapshot",
+    "compress_records",
+    "RirPolicy",
+    "DEFAULT_POLICIES",
+    "default_policy",
+    "Registry",
+    "RegistryError",
+    "Allocation",
+    "Reservation",
+    "ArchiveOverlay",
+    "SourceKey",
+    "REGULAR",
+    "EXTENDED",
+    "DelegationArchive",
+    "FileState",
+    "SourceWindow",
+    "Stint",
+    "PitfallInjector",
+    "PitfallConfig",
+    "InjectedDefect",
+    "TransferRecord",
+    "ERX_PLACEHOLDER_DATE",
+    "MirrorReader",
+    "export_archive",
+    "file_name",
+    "WhoWas",
+    "HoldingRecord",
+    "Retry32BitFinding",
+]

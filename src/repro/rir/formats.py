@@ -1,0 +1,230 @@
+"""Codec for the NRO delegation-file format (regular and extended).
+
+The on-disk format is pipe-separated text (one resource per line, runs
+of contiguous equal resources compressed via the ``value`` field):
+
+.. code-block:: text
+
+    2.3|ripencc|19700101|3|20031126|20210301|+0000
+    ripencc|*|asn|*|3|summary
+    ripencc|FR|asn|2200|1|20010101|allocated|ORG-0001
+    ripencc||asn|2201|2||available
+
+Line 1 is the header (``version|registry|serial|records|startdate|
+enddate|UTCoffset``); the version is ``2`` for regular files and
+``2.3`` for the extended format.  Summary lines follow, then records:
+``registry|cc|type|start|value|date|status[|opaque-id]``.  The real
+files also carry ``ipv4``/``ipv6`` rows; the parser skips them since
+the paper's pipeline only consumes ASN rows.
+
+The parser is deliberately forgiving about cosmetic noise (comments,
+blank lines) but strict about structural damage, raising
+:class:`DelegationFileError` so that corrupted files can be detected
+and handled by the restoration pipeline, as §3.1 requires.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import List, Optional, Tuple
+
+from ..asn.numbers import AS32_MAX
+from ..timeline.dates import Day
+from .model import DelegationRecord, DelegationSnapshot, Status
+
+__all__ = [
+    "DelegationFileError",
+    "REGULAR_VERSION",
+    "EXTENDED_VERSION",
+    "serialize_snapshot",
+    "parse_snapshot",
+    "compress_records",
+]
+
+REGULAR_VERSION = "2"
+EXTENDED_VERSION = "2.3"
+
+
+class DelegationFileError(ValueError):
+    """Raised when a delegation file is structurally corrupt."""
+
+
+def _day_to_field(d: Optional[Day]) -> str:
+    if d is None:
+        return ""
+    return _dt.date.fromordinal(d).strftime("%Y%m%d")
+
+
+def _field_to_day(text: str) -> Optional[Day]:
+    text = text.strip()
+    if not text or text == "00000000":
+        return None
+    if len(text) != 8 or not text.isdigit():
+        raise DelegationFileError(f"bad date field {text!r}")
+    try:
+        return _dt.date(int(text[:4]), int(text[4:6]), int(text[6:8])).toordinal()
+    except ValueError as exc:
+        raise DelegationFileError(f"bad date field {text!r}: {exc}") from None
+
+
+def compress_records(
+    records: List[DelegationRecord],
+) -> List[Tuple[DelegationRecord, int]]:
+    """Run-length compress sorted records into (first record, count) runs.
+
+    Contiguous ASNs sharing country, date, status, and opaque id
+    collapse into one line, exactly as the real files compress the
+    large ``available``/``reserved`` pool ranges.
+    """
+    runs: List[Tuple[DelegationRecord, int]] = []
+    for rec in sorted(records, key=lambda r: (r.asn, r.status.value)):
+        if runs:
+            head, count = runs[-1]
+            if rec.asn == head.asn + count and rec.key_fields() == head.key_fields():
+                runs[-1] = (head, count + 1)
+                continue
+        runs.append((rec, 1))
+    return runs
+
+
+def serialize_snapshot(snapshot: DelegationSnapshot) -> str:
+    """Render a snapshot in the NRO text format.
+
+    The record count in the header and the summary line are computed
+    from the actual content, so a serialized file always satisfies the
+    parser's consistency checks.
+    """
+    runs = compress_records(snapshot.records)
+    version = EXTENDED_VERSION if snapshot.extended else REGULAR_VERSION
+    lines = [
+        "|".join(
+            [
+                version,
+                snapshot.registry,
+                str(snapshot.serial),
+                str(len(runs)),
+                _day_to_field(snapshot.file_day),
+                _day_to_field(snapshot.file_day),
+                "+0000",
+            ]
+        ),
+        f"{snapshot.registry}|*|asn|*|{len(runs)}|summary",
+    ]
+    for rec, count in runs:
+        fields = [
+            rec.registry,
+            rec.cc,
+            "asn",
+            str(rec.asn),
+            str(count),
+            _day_to_field(rec.reg_date),
+            rec.status.value,
+        ]
+        if snapshot.extended:
+            fields.append(rec.opaque_id or "")
+        lines.append("|".join(fields))
+    return "\n".join(lines) + "\n"
+
+
+def parse_snapshot(text: str) -> DelegationSnapshot:
+    """Parse delegation-file text into a :class:`DelegationSnapshot`.
+
+    Raises :class:`DelegationFileError` for structural corruption: a
+    missing or malformed header, record lines with the wrong number of
+    fields, unparsable numbers or dates, or a header record count that
+    does not match the body (truncated download — one of the §3.1
+    defect classes).
+    """
+    lines = [
+        line
+        for line in (raw.strip() for raw in text.splitlines())
+        if line and not line.startswith("#")
+    ]
+    if not lines:
+        raise DelegationFileError("empty delegation file")
+
+    header = lines[0].split("|")
+    if len(header) != 7:
+        raise DelegationFileError(f"malformed header: {lines[0]!r}")
+    version, registry, serial_s, records_s, start_s, _end_s, _offset = header
+    if version not in (REGULAR_VERSION, EXTENDED_VERSION):
+        raise DelegationFileError(f"unknown format version {version!r}")
+    extended = version == EXTENDED_VERSION
+    try:
+        serial = int(serial_s)
+        declared = int(records_s)
+    except ValueError:
+        raise DelegationFileError(f"non-numeric header counts in {lines[0]!r}") from None
+    file_day = _field_to_day(start_s)
+    if file_day is None:
+        raise DelegationFileError("header lacks a start date")
+
+    records: List[DelegationRecord] = []
+    body_lines = 0
+    for line in lines[1:]:
+        fields = line.split("|")
+        if len(fields) == 6 and fields[5] == "summary":
+            continue
+        rtype = fields[2] if len(fields) > 2 else ""
+        if rtype in ("ipv4", "ipv6"):
+            body_lines += 1
+            continue
+        if rtype != "asn":
+            raise DelegationFileError(f"unrecognized record line {line!r}")
+        # extended files may omit the trailing opaque id on pool rows
+        allowed = (7, 8) if extended else (7,)
+        if len(fields) not in allowed:
+            raise DelegationFileError(f"wrong field count in {line!r}")
+        body_lines += 1
+        reg, cc, _rtype, start_s, value_s, date_s, status_s = fields[:7]
+        opaque = fields[7] if len(fields) == 8 else None
+        try:
+            start = int(start_s)
+            value = int(value_s)
+        except ValueError:
+            raise DelegationFileError(f"non-numeric ASN fields in {line!r}") from None
+        if value < 1 or start < 0 or start + value - 1 > AS32_MAX:
+            raise DelegationFileError(f"ASN range out of bounds in {line!r}")
+        try:
+            status = Status.parse(status_s)
+        except ValueError as exc:
+            raise DelegationFileError(str(exc)) from None
+        if not extended and not status.is_delegated:
+            raise DelegationFileError(
+                f"status {status.value!r} not allowed in regular files: {line!r}"
+            )
+        reg_date = _field_to_day(date_s)
+        try:
+            for offset in range(value):
+                records.append(
+                    DelegationRecord(
+                        registry=reg,
+                        cc=cc,
+                        asn=start + offset,
+                        reg_date=reg_date,
+                        status=status,
+                        opaque_id=opaque or None,
+                    )
+                )
+        except DelegationFileError:
+            raise
+        except ValueError as exc:
+            raise DelegationFileError(f"invalid record in {line!r}: {exc}") from None
+
+    if body_lines != declared:
+        raise DelegationFileError(
+            f"header declares {declared} records but file has {body_lines} "
+            "(truncated or corrupted file)"
+        )
+    try:
+        return DelegationSnapshot(
+            registry=registry,
+            file_day=file_day,
+            extended=extended,
+            records=records,
+            serial=serial,
+        )
+    except DelegationFileError:
+        raise
+    except ValueError as exc:
+        raise DelegationFileError(str(exc)) from None

@@ -1,0 +1,168 @@
+"""On-disk archive layout mirroring the RIR FTP sites.
+
+The paper collects files from five FTP sites whose layout is
+``<root>/<registry>/delegated-<registry>-<YYYYMMDD>`` plus
+``delegated-<registry>-extended-<YYYYMMDD>`` for the extended format.
+This module materializes a :class:`~repro.rir.archive.DelegationArchive`
+into that layout and reads one back, so pipelines can run against a
+directory exactly as they would against a mirrored FTP tree.
+
+Corrupt days are written as truncated files (the parser rejects them),
+missing days are simply absent — faithfully reproducing what a mirror
+of a flaky archive looks like.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..timeline.dates import Day, to_iso
+from .archive import DelegationArchive
+from .formats import DelegationFileError, parse_snapshot
+from .model import DelegationSnapshot
+from .overlay import EXTENDED, REGULAR, SourceKey
+
+__all__ = ["file_name", "export_archive", "MirrorReader"]
+
+PathLike = Union[str, Path]
+
+
+def file_name(source: SourceKey, day: Day) -> str:
+    """The FTP-style file name for one day's delegation file."""
+    registry, kind = source
+    stamp = _dt.date.fromordinal(day).strftime("%Y%m%d")
+    if kind == EXTENDED:
+        return f"delegated-{registry}-extended-{stamp}"
+    return f"delegated-{registry}-{stamp}"
+
+
+def export_archive(
+    archive: DelegationArchive,
+    root: PathLike,
+    *,
+    start: Optional[Day] = None,
+    end: Optional[Day] = None,
+    registries: Optional[List[str]] = None,
+) -> int:
+    """Write an archive (or a day range of it) as an FTP-style tree.
+
+    Returns the number of files written.  Corrupt days produce
+    deliberately truncated files; missing days produce nothing.
+    """
+    root = Path(root)
+    written = 0
+    for window in archive.sources():
+        registry, _kind = window.source
+        if registries is not None and registry not in registries:
+            continue
+        directory = root / registry
+        directory.mkdir(parents=True, exist_ok=True)
+        lo = window.first_day if start is None else max(start, window.first_day)
+        hi = window.last_day if end is None else min(end, window.last_day)
+        for day in range(lo, hi + 1):
+            text = archive.file_text(window.source, day)
+            if text is None:
+                continue
+            (directory / file_name(window.source, day)).write_text(text)
+            written += 1
+    return written
+
+
+class MirrorReader:
+    """Read a directory tree written by :func:`export_archive`.
+
+    Provides day iteration and parsed snapshots with the same
+    missing/corrupt semantics the in-memory archive exposes, so the
+    restoration pipeline's inputs can come from disk.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self._root = Path(root)
+        if not self._root.is_dir():
+            raise FileNotFoundError(f"no archive mirror at {self._root}")
+        self._index: Dict[SourceKey, Dict[Day, Path]] = {}
+        self._scan()
+
+    def _scan(self) -> None:
+        for registry_dir in sorted(self._root.iterdir()):
+            if not registry_dir.is_dir():
+                continue
+            registry = registry_dir.name
+            for path in sorted(registry_dir.iterdir()):
+                parsed = self._parse_name(registry, path.name)
+                if parsed is None:
+                    continue
+                source, day = parsed
+                self._index.setdefault(source, {})[day] = path
+
+    @staticmethod
+    def _parse_name(registry: str, name: str) -> Optional[Tuple[SourceKey, Day]]:
+        prefix_ext = f"delegated-{registry}-extended-"
+        prefix_reg = f"delegated-{registry}-"
+        if name.startswith(prefix_ext):
+            kind, stamp = EXTENDED, name[len(prefix_ext):]
+        elif name.startswith(prefix_reg):
+            kind, stamp = REGULAR, name[len(prefix_reg):]
+        else:
+            return None
+        if len(stamp) != 8 or not stamp.isdigit():
+            return None
+        try:
+            day = _dt.date(int(stamp[:4]), int(stamp[4:6]), int(stamp[6:8])).toordinal()
+        except ValueError:
+            return None
+        return (registry, kind), day
+
+    def sources(self) -> List[SourceKey]:
+        return sorted(self._index)
+
+    def days(self, source: SourceKey) -> List[Day]:
+        """Days with a file on disk, ascending."""
+        return sorted(self._index.get(source, ()))
+
+    def missing_days(self, source: SourceKey) -> List[Day]:
+        """Days inside the observed span with no file (gaps)."""
+        days = self.days(source)
+        if not days:
+            return []
+        present = set(days)
+        return [d for d in range(days[0], days[-1] + 1) if d not in present]
+
+    def read(self, source: SourceKey, day: Day) -> Optional[DelegationSnapshot]:
+        """Parse one day's file; ``None`` when absent.
+
+        Raises :class:`DelegationFileError` for corrupt files — the
+        §3.1 restoration treats those like missing days.
+        """
+        path = self._index.get(source, {}).get(day)
+        if path is None:
+            return None
+        return parse_snapshot(path.read_text())
+
+    def iter_snapshots(
+        self, source: SourceKey
+    ) -> Iterator[Tuple[Day, Optional[DelegationSnapshot]]]:
+        """Yield (day, snapshot-or-None) over the observed span.
+
+        Corrupt files yield ``None`` (with the day still reported), so
+        consumers see the §3.1 "empty or missing file" picture.
+        """
+        for day in self.days(source):
+            try:
+                yield day, self.read(source, day)
+            except DelegationFileError:
+                yield day, None
+
+    def describe(self) -> str:
+        """Inventory summary, one line per source."""
+        lines = []
+        for source in self.sources():
+            days = self.days(source)
+            missing = len(self.missing_days(source))
+            lines.append(
+                f"{source[0]}/{source[1]}: {len(days)} files, "
+                f"{to_iso(days[0])} .. {to_iso(days[-1])}, {missing} gaps"
+            )
+        return "\n".join(lines)

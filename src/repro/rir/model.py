@@ -1,0 +1,190 @@
+"""Core data model for RIR delegation data.
+
+Five Regional Internet Registries manage AS-number delegations (§2).
+Each publishes daily "delegation files" listing the status of the
+resources it is responsible for.  Two formats exist:
+
+* the **regular** format (2004-) lists only *delegated* resources
+  (status ``allocated``/``assigned``);
+* the **extended** format (2008-2013 onward depending on the RIR) lists
+  the registry's whole pool — ``available`` and ``reserved`` resources
+  too — and adds an ``opaque_id`` identifying the holding organization
+  within the file.
+
+This module defines the record/snapshot value types shared by the
+format codecs, the registry state machine, the pitfall injector, and
+the restoration pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..asn.numbers import ASN
+from ..timeline.dates import Day, from_iso, to_iso
+
+__all__ = [
+    "RIR_NAMES",
+    "FIRST_REGULAR_FILE",
+    "FIRST_EXTENDED_FILE",
+    "ARIN_REGULAR_STOP",
+    "Status",
+    "DelegationRecord",
+    "DelegationSnapshot",
+]
+
+#: Canonical lowercase registry identifiers, as used inside the files.
+RIR_NAMES: Tuple[str, ...] = ("afrinic", "apnic", "arin", "lacnic", "ripencc")
+
+#: First day a regular delegation file exists per RIR (paper Table 1).
+FIRST_REGULAR_FILE: Dict[str, Day] = {
+    "afrinic": from_iso("2005-02-18"),
+    "apnic": from_iso("2003-10-09"),
+    "arin": from_iso("2003-11-20"),
+    "lacnic": from_iso("2004-01-01"),
+    "ripencc": from_iso("2003-11-26"),
+}
+
+#: First day an extended delegation file exists per RIR (paper Table 1).
+FIRST_EXTENDED_FILE: Dict[str, Day] = {
+    "afrinic": from_iso("2012-10-02"),
+    "apnic": from_iso("2008-02-14"),
+    "arin": from_iso("2013-03-05"),
+    "lacnic": from_iso("2012-06-28"),
+    "ripencc": from_iso("2010-04-22"),
+}
+
+#: ARIN stopped publishing the regular file after this day (§3.1 fn. 3).
+ARIN_REGULAR_STOP: Day = from_iso("2013-08-12")
+
+
+class Status(enum.Enum):
+    """Delegation status of a resource in a delegation file.
+
+    ``ALLOCATED``/``ASSIGNED`` both mean "delegated to an organization";
+    the distinction (direct vs. through an LIR) is irrelevant to the
+    paper's lifetimes and both are treated as the administrative life
+    being *on*.  ``AVAILABLE`` and ``RESERVED`` only appear in extended
+    files.
+    """
+
+    ALLOCATED = "allocated"
+    ASSIGNED = "assigned"
+    AVAILABLE = "available"
+    RESERVED = "reserved"
+
+    @property
+    def is_delegated(self) -> bool:
+        """True for statuses that mean "held by an organization"."""
+        return self in (Status.ALLOCATED, Status.ASSIGNED)
+
+    @classmethod
+    def parse(cls, text: str) -> "Status":
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            raise ValueError(f"unknown delegation status {text!r}") from None
+
+
+@dataclass(frozen=True)
+class DelegationRecord:
+    """One ASN row of a delegation file.
+
+    ``reg_date`` is the registration date field; for ``available``
+    records the real files leave it empty (``None`` here).  ``opaque_id``
+    is only present in extended files.  ``cc`` is the ISO country code
+    of the holding organization (empty for pool resources).
+    """
+
+    registry: str
+    cc: str
+    asn: ASN
+    reg_date: Optional[Day]
+    status: Status
+    opaque_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.registry not in RIR_NAMES:
+            raise ValueError(f"unknown registry {self.registry!r}")
+        if self.status.is_delegated and self.reg_date is None:
+            raise ValueError(f"delegated record for AS{self.asn} lacks a date")
+
+    @property
+    def is_delegated(self) -> bool:
+        return self.status.is_delegated
+
+    def with_date(self, reg_date: Optional[Day]) -> "DelegationRecord":
+        """Copy with a different registration date (restoration step v)."""
+        return replace(self, reg_date=reg_date)
+
+    def with_status(self, status: Status) -> "DelegationRecord":
+        """Copy with a different status (pitfall/restoration use)."""
+        return replace(self, status=status)
+
+    def key_fields(self) -> Tuple[str, str, Optional[Day], str, Optional[str]]:
+        """Everything except the ASN, for run-length file compression."""
+        return (self.registry, self.cc, self.reg_date, self.status.value, self.opaque_id)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports and examples."""
+        date = to_iso(self.reg_date) if self.reg_date is not None else "-"
+        who = f" org={self.opaque_id}" if self.opaque_id else ""
+        return f"AS{self.asn} {self.status.value} by {self.registry} ({self.cc or '??'}) reg {date}{who}"
+
+
+@dataclass
+class DelegationSnapshot:
+    """The parsed content of one delegation file for one day.
+
+    ``file_day`` is the day in the file header; ``serial`` a publication
+    serial (the real files carry one; the §3.1 step (iii) "same day file
+    update" tie-break uses the newest header).  ``extended`` tells which
+    format the snapshot came from.  ``records`` holds only ASN records —
+    the real files also carry IPv4/IPv6 rows, which the codec skips.
+    """
+
+    registry: str
+    file_day: Day
+    extended: bool
+    records: List[DelegationRecord]
+    serial: int = 0
+
+    def __post_init__(self) -> None:
+        if self.registry not in RIR_NAMES:
+            raise ValueError(f"unknown registry {self.registry!r}")
+
+    def asns(self) -> List[ASN]:
+        """All ASNs mentioned, in file order (may contain duplicates —
+        the AfriNIC duplicate-record pitfall of §3.1 step (iv))."""
+        return [r.asn for r in self.records]
+
+    def by_asn(self) -> Dict[ASN, List[DelegationRecord]]:
+        """Index records by ASN, preserving duplicates."""
+        out: Dict[ASN, List[DelegationRecord]] = {}
+        for rec in self.records:
+            out.setdefault(rec.asn, []).append(rec)
+        return out
+
+    def delegated_records(self) -> List[DelegationRecord]:
+        """Only the rows with a delegated (allocated/assigned) status."""
+        return [r for r in self.records if r.is_delegated]
+
+    def count_by_status(self) -> Dict[Status, int]:
+        out: Dict[Status, int] = {}
+        for rec in self.records:
+            out[rec.status] = out.get(rec.status, 0) + 1
+        return out
+
+    def sorted_records(self) -> List[DelegationRecord]:
+        """Records in ascending ASN order (canonical file order)."""
+        return sorted(self.records, key=lambda r: r.asn)
+
+
+def summarize_counts(snapshots: Sequence[DelegationSnapshot]) -> Dict[str, int]:
+    """Total ASN record count per registry across snapshots."""
+    out: Dict[str, int] = {}
+    for snap in snapshots:
+        out[snap.registry] = out.get(snap.registry, 0) + len(snap.records)
+    return out

@@ -1,0 +1,460 @@
+"""Injection of the real-world defects §3.1 documents.
+
+The paper spends a whole section restoring 17 years of delegation
+files: files go missing or arrive corrupted, groups of ASNs vanish from
+extended files for a few days, regular and extended files published the
+same day disagree, AfriNIC carries contradictory duplicate rows, and
+registration dates jump to the future, to the past, or to the
+placeholder ``1993-09-01`` left behind by the ERX transfers.
+
+:class:`PitfallInjector` reproduces every one of those defect classes
+on top of a clean simulated archive, with a seeded RNG and a
+ground-truth log (:class:`InjectedDefect`) so that the restoration
+pipeline (:mod:`repro.restoration`) can be *scored*, not just run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..timeline.dates import Day, from_iso
+from ..timeline.intervals import Interval
+from ..asn.numbers import ASN
+from .model import DelegationRecord, Status
+from .overlay import EXTENDED, REGULAR, ArchiveOverlay, SourceKey
+from .registry import Registry
+
+__all__ = [
+    "ERX_PLACEHOLDER_DATE",
+    "TransferRecord",
+    "InjectedDefect",
+    "PitfallConfig",
+    "PitfallInjector",
+]
+
+#: The placeholder registration date §3.1(v) finds on >800 RIPE NCC
+#: records affected by the ERX project.
+ERX_PLACEHOLDER_DATE: Day = from_iso("1993-09-01")
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """An inter-RIR ASN transfer performed by the simulation.
+
+    ``original_reg_date`` is the registration date the resource held at
+    the origin registry; ``erx`` marks transfers belonging to the ERX
+    ("early registration") project.
+    """
+
+    asn: ASN
+    day: Day
+    from_rir: str
+    to_rir: str
+    original_reg_date: Day
+    erx: bool = False
+
+
+@dataclass(frozen=True)
+class InjectedDefect:
+    """Ground-truth record of one injected corruption."""
+
+    kind: str
+    source: Optional[SourceKey]
+    asn: Optional[ASN]
+    span: Optional[Interval]
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class PitfallConfig:
+    """Rates and sizes for the injected defect classes.
+
+    Defaults approximate the paper's findings: <1% of days missing
+    (longest run 7 days, RIPE NCC), 1.8% of days with same-day
+    regular/extended divergence (never AfriNIC), 16 AfriNIC duplicate
+    ASNs, a handful of future dates, >800 ERX placeholder dates, and
+    some 450 ASNs with inter-RIR overlaps.
+    """
+
+    missing_file_rate: float = 0.004
+    corrupt_file_rate: float = 0.0015
+    longest_missing_run: int = 7
+    stale_day_rate: float = 0.018
+    record_drop_events_per_source: int = 2
+    record_drop_group: Tuple[int, int] = (40, 300)
+    record_drop_days: Tuple[int, int] = (1, 3)
+    afrinic_duplicate_count: int = 16
+    afrinic_duplicate_max_days: int = 180
+    future_regdate_count: int = 4
+    future_regdate_max_days: int = 6
+    erx_placeholder_share: float = 0.85
+    stale_transfer_share: float = 0.35
+    stale_transfer_days: Tuple[int, int] = (10, 260)
+    mistaken_allocation_count: int = 5
+    mistaken_allocation_days: Tuple[int, int] = (20, 250)
+
+
+@dataclass
+class PitfallInjector:
+    """Builds an :class:`ArchiveOverlay` full of realistic defects.
+
+    Parameters
+    ----------
+    registries:
+        The clean registry state machines (read-only access).
+    end_day:
+        Last day of the archive.
+    seed:
+        Seed for the injector's private RNG.
+    config:
+        Defect rates; see :class:`PitfallConfig`.
+    """
+
+    registries: Mapping[str, Registry]
+    end_day: Day
+    seed: int = 0
+    config: PitfallConfig = field(default_factory=PitfallConfig)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self.overlay = ArchiveOverlay()
+        self.truth: List[InjectedDefect] = []
+
+    # -- public API --------------------------------------------------------
+
+    def inject_all(
+        self,
+        windows: Mapping[SourceKey, Tuple[Day, Day]],
+        transfers: Sequence[TransferRecord] = (),
+    ) -> ArchiveOverlay:
+        """Run every defect class and return the finished overlay."""
+        self.inject_file_level_defects(windows)
+        self.inject_stale_days(windows)
+        self.inject_record_drops(windows)
+        self.inject_afrinic_duplicates(windows)
+        self.inject_future_regdates(windows)
+        self.inject_erx_placeholders(windows, transfers)
+        self.inject_stale_transfer_records(windows, transfers)
+        self.inject_mistaken_allocations(windows)
+        return self.overlay
+
+    # -- (i) missing / corrupt files ----------------------------------------
+
+    def inject_file_level_defects(
+        self, windows: Mapping[SourceKey, Tuple[Day, Day]]
+    ) -> None:
+        """Sprinkle missing and corrupt days over every source, plus one
+        long consecutive missing run on the RIPE NCC regular feed (the
+        paper's worst case is 7 days, RIPE)."""
+        cfg = self.config
+        for source, (first, last) in sorted(windows.items()):
+            # never corrupt a window's first or last file: the paper's
+            # observation window is anchored on days with usable data
+            lo, hi = first + 1, last - 1
+            if lo > hi:
+                continue
+            span_days = hi - lo + 1
+            n_missing = int(span_days * cfg.missing_file_rate)
+            n_corrupt = int(span_days * cfg.corrupt_file_rate)
+            for day in self._rng.sample(range(lo, hi + 1), min(n_missing, span_days)):
+                self.overlay.mark_missing(source, day)
+                self.truth.append(
+                    InjectedDefect("missing_file", source, None, Interval(day, day))
+                )
+            for day in self._rng.sample(range(lo, hi + 1), min(n_corrupt, span_days)):
+                if day in self.overlay.missing_days.get(source, set()):
+                    continue
+                self.overlay.mark_corrupt(source, day)
+                self.truth.append(
+                    InjectedDefect("corrupt_file", source, None, Interval(day, day))
+                )
+        ripe_reg = ("ripencc", REGULAR)
+        if ripe_reg in windows and cfg.longest_missing_run > 1:
+            first, last = windows[ripe_reg]
+            run_len = cfg.longest_missing_run
+            start = self._rng.randint(first + 30, max(first + 31, last - run_len - 31))
+            for day in range(start, start + run_len):
+                self.overlay.mark_missing(ripe_reg, day)
+            self.truth.append(
+                InjectedDefect(
+                    "missing_file_run",
+                    ripe_reg,
+                    None,
+                    Interval(start, start + run_len - 1),
+                    note=f"longest consecutive missing run ({run_len} days)",
+                )
+            )
+
+    # -- (iii) same-day regular/extended divergence --------------------------
+
+    def inject_stale_days(self, windows: Mapping[SourceKey, Tuple[Day, Day]]) -> None:
+        """On ~1.8% of days the regular file is not regenerated and
+        repeats the previous day's content (all RIRs except AfriNIC)."""
+        cfg = self.config
+        for source, (first, last) in sorted(windows.items()):
+            registry, kind = source
+            if kind != REGULAR or registry == "afrinic":
+                continue
+            ext = (registry, EXTENDED)
+            if ext not in windows:
+                continue
+            ext_first, ext_last = windows[ext]
+            lo, hi = max(first, ext_first) + 1, min(last, ext_last)
+            if lo >= hi:
+                continue
+            n = int((hi - lo + 1) * cfg.stale_day_rate)
+            for day in self._rng.sample(range(lo, hi + 1), min(n, hi - lo + 1)):
+                self.overlay.mark_stale(source, day)
+                self.truth.append(
+                    InjectedDefect("stale_day", source, None, Interval(day, day))
+                )
+
+    # -- (ii) record drops ----------------------------------------------------
+
+    def inject_record_drops(self, windows: Mapping[SourceKey, Tuple[Day, Day]]) -> None:
+        """Groups of allocated ASNs vanish from the *extended* file for
+        one to a few days while the regular file still carries them.
+
+        AfriNIC is spared: the paper finds its two feeds never diverge
+        (§3.1 step iii), so its extended archive gets no drops either.
+        """
+        cfg = self.config
+        for source, (first, last) in sorted(windows.items()):
+            registry, kind = source
+            if kind != EXTENDED or registry == "afrinic":
+                continue
+            asns = sorted(self.registries[registry].history)
+            if len(asns) < 10:
+                continue
+            for _ in range(cfg.record_drop_events_per_source):
+                day = self._rng.randint(first + 10, last - 10)
+                length = self._rng.randint(*cfg.record_drop_days)
+                group_size = min(
+                    self._rng.randint(*cfg.record_drop_group), len(asns) // 2
+                )
+                start_idx = self._rng.randint(0, len(asns) - group_size)
+                span = Interval(day, min(day + length - 1, last))
+                for asn in asns[start_idx : start_idx + group_size]:
+                    self.overlay.drop_record(source, asn, span)
+                self.truth.append(
+                    InjectedDefect(
+                        "record_drop",
+                        source,
+                        None,
+                        span,
+                        note=f"{group_size} ASNs dropped",
+                    )
+                )
+
+    # -- (iv) AfriNIC duplicate records ---------------------------------------
+
+    def inject_afrinic_duplicates(
+        self, windows: Mapping[SourceKey, Tuple[Day, Day]]
+    ) -> None:
+        """A handful of AfriNIC ASNs carry a second, contradictory row
+        (e.g. both allocated and reserved) for up to six months."""
+        source = ("afrinic", EXTENDED)
+        if source not in windows:
+            return
+        first, last = windows[source]
+        registry = self.registries["afrinic"]
+        allocated = [
+            asn
+            for asn, changes in registry.history.items()
+            if any(rec is not None and rec.is_delegated for _, rec in changes)
+        ]
+        if not allocated:
+            return
+        count = min(self.config.afrinic_duplicate_count, len(allocated))
+        for asn in self._rng.sample(sorted(allocated), count):
+            day = self._rng.randint(first, max(first, last - 30))
+            length = self._rng.randint(5, self.config.afrinic_duplicate_max_days)
+            span = Interval(day, min(day + length - 1, last))
+            ghost = DelegationRecord(
+                registry="afrinic",
+                cc="",
+                asn=asn,
+                reg_date=None,
+                status=Status.RESERVED,
+            )
+            self.overlay.add_record(source, span, ghost)
+            self.truth.append(
+                InjectedDefect("duplicate_record", source, asn, span,
+                               note="contradictory reserved duplicate")
+            )
+
+    # -- (v) registration-date defects ----------------------------------------
+
+    def inject_future_regdates(
+        self, windows: Mapping[SourceKey, Tuple[Day, Day]]
+    ) -> None:
+        """A few AfriNIC records show a registration date a few days in
+        the *future* relative to the file date."""
+        for kind in (EXTENDED, REGULAR):
+            source = ("afrinic", kind)
+            if source in windows:
+                break
+        else:
+            return
+        first, last = windows[source]
+        registry = self.registries["afrinic"]
+        candidates = []
+        for asn, changes in registry.history.items():
+            for day, rec in changes:
+                if rec is not None and rec.is_delegated and first <= day <= last - 30:
+                    candidates.append((asn, day, rec))
+                    break
+        count = min(self.config.future_regdate_count, len(candidates))
+        for asn, day, rec in self._rng.sample(sorted(candidates, key=lambda c: c[0]), count):
+            offset = self._rng.randint(1, self.config.future_regdate_max_days)
+            span = Interval(day, day + offset + 3)
+            wrong = day + offset
+            for s in (("afrinic", REGULAR), ("afrinic", EXTENDED)):
+                if s in windows:
+                    self.overlay.override_date(s, asn, span, wrong)
+            self.truth.append(
+                InjectedDefect(
+                    "future_regdate", source, asn, span,
+                    note=f"date {offset} days in the future",
+                )
+            )
+
+    def inject_erx_placeholders(
+        self,
+        windows: Mapping[SourceKey, Tuple[Day, Day]],
+        transfers: Sequence[TransferRecord],
+    ) -> None:
+        """RIPE NCC ERX transfers lose their original registration date
+        to the 1993-09-01 placeholder (the date "travels back in time")."""
+        for transfer in transfers:
+            if not transfer.erx or transfer.to_rir != "ripencc":
+                continue
+            if self._rng.random() > self.config.erx_placeholder_share:
+                continue
+            for kind in (REGULAR, EXTENDED):
+                source = ("ripencc", kind)
+                if source not in windows:
+                    continue
+                first, last = windows[source]
+                start = max(transfer.day, first)
+                if start > last:
+                    continue
+                self.overlay.override_date(
+                    source, transfer.asn, Interval(start, last), ERX_PLACEHOLDER_DATE
+                )
+            self.truth.append(
+                InjectedDefect(
+                    "placeholder_regdate",
+                    ("ripencc", REGULAR),
+                    transfer.asn,
+                    None,
+                    note=f"true date {transfer.original_reg_date}",
+                )
+            )
+
+    # -- (vi) inter-RIR inconsistencies ----------------------------------------
+
+    def inject_stale_transfer_records(
+        self,
+        windows: Mapping[SourceKey, Tuple[Day, Day]],
+        transfers: Sequence[TransferRecord],
+    ) -> None:
+        """After a transfer, the origin RIR sometimes fails to remove
+        the ASN from its files for a while, so the ASN appears allocated
+        in two registries simultaneously."""
+        cfg = self.config
+        for transfer in transfers:
+            if self._rng.random() > cfg.stale_transfer_share:
+                continue
+            length = self._rng.randint(*cfg.stale_transfer_days)
+            origin = self.registries.get(transfer.from_rir)
+            if origin is None:
+                continue
+            ghost_rec = self._last_delegated_record(origin, transfer.asn)
+            if ghost_rec is None:
+                continue
+            span = Interval(transfer.day, transfer.day + length)
+            for kind in (REGULAR, EXTENDED):
+                source = (transfer.from_rir, kind)
+                if source not in windows:
+                    continue
+                first, last = windows[source]
+                clipped = span.clamp(first, last)
+                if clipped is not None:
+                    self.overlay.add_record(source, clipped, ghost_rec)
+            self.truth.append(
+                InjectedDefect(
+                    "stale_transfer_record",
+                    (transfer.from_rir, EXTENDED),
+                    transfer.asn,
+                    span,
+                    note=f"transferred to {transfer.to_rir}",
+                )
+            )
+
+    def inject_mistaken_allocations(
+        self, windows: Mapping[SourceKey, Tuple[Day, Day]]
+    ) -> None:
+        """A registry (apparently) allocates ASNs from blocks IANA never
+        delegated to it, overlapping the legitimate holder's records."""
+        cfg = self.config
+        names = sorted(self.registries)
+        if len(names) < 2:
+            return
+        ledger = next(iter(self.registries.values())).ledger
+        allocated_pairs = []
+        for name, registry in sorted(self.registries.items()):
+            for asn in sorted(registry.allocated):
+                allocated_pairs.append((name, asn))
+        if not allocated_pairs:
+            return
+        count = min(cfg.mistaken_allocation_count, len(allocated_pairs))
+        for owner, asn in self._rng.sample(allocated_pairs, count):
+            culprit = self._rng.choice([n for n in names if n != owner])
+            length = self._rng.randint(*cfg.mistaken_allocation_days)
+            ghost = DelegationRecord(
+                registry=culprit,
+                cc="ZZ",
+                asn=asn,
+                reg_date=self.end_day - length,
+                status=Status.ALLOCATED,
+                opaque_id=f"GHOST-{culprit}-{asn}",
+            )
+            span = Interval(self.end_day - length, self.end_day)
+            for kind in (REGULAR, EXTENDED):
+                source = (culprit, kind)
+                if source not in windows:
+                    continue
+                first, last = windows[source]
+                clipped = span.clamp(first, last)
+                if clipped is not None:
+                    self.overlay.add_record(source, clipped, ghost)
+            self.truth.append(
+                InjectedDefect(
+                    "mistaken_allocation",
+                    (culprit, EXTENDED),
+                    asn,
+                    span,
+                    note=f"block belongs to {ledger.rir_of(asn) or owner}",
+                )
+            )
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _last_delegated_record(
+        registry: Registry, asn: ASN
+    ) -> Optional[DelegationRecord]:
+        for day, rec in reversed(registry.history.get(asn, [])):
+            if rec is not None and rec.is_delegated:
+                return rec
+        return None
+
+    def defects_by_kind(self) -> Dict[str, int]:
+        """Ground-truth defect counts, for reports and scoring."""
+        out: Dict[str, int] = {}
+        for defect in self.truth:
+            out[defect.kind] = out.get(defect.kind, 0) + 1
+        return out

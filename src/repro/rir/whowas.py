@@ -1,0 +1,164 @@
+"""WhoWas: historical queries over expired delegations.
+
+§6.3 leverages ARIN's WhoWas service — "which provides historical
+information about expired allocations" — to show that organizations
+whose short-lived 32-bit ASN allocations failed came back for 16-bit
+numbers.  This module provides the equivalent query service over a
+restored delegation history: who held an ASN when, what else an
+organization held, and the 32-bit→16-bit retry pattern itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..asn.numbers import ASN, is_16bit, is_32bit_only
+from ..lifetimes.records import AdminLifetime
+from ..timeline.dates import Day, to_iso
+
+__all__ = ["HoldingRecord", "WhoWas", "Retry32BitFinding"]
+
+
+@dataclass(frozen=True)
+class HoldingRecord:
+    """One (organization, ASN, period) holding."""
+
+    asn: ASN
+    org_id: Optional[str]
+    registry: str
+    cc: str
+    start: Day
+    end: Day
+    open_ended: bool
+
+    def describe(self) -> str:
+        who = self.org_id or "(unknown org)"
+        return (
+            f"AS{self.asn} held by {who} [{self.registry}/{self.cc or '??'}] "
+            f"{to_iso(self.start)} .. {to_iso(self.end)}"
+            + (" (ongoing)" if self.open_ended else "")
+        )
+
+
+@dataclass(frozen=True)
+class Retry32BitFinding:
+    """A failed 32-bit deployment followed by a 16-bit allocation.
+
+    §6.3: 86% of the organizations behind ARIN's short-lived unused
+    32-bit allocations "have been assigned 16-bit ASNs right after the
+    end of the previous (short-lived) 32-bit ASN allocation".
+    """
+
+    org_id: str
+    failed_asn: ASN
+    failed_duration: int
+    replacement_asn: ASN
+    gap_days: int
+
+
+class WhoWas:
+    """Historical delegation query service over a lifetime dataset."""
+
+    def __init__(
+        self, admin_lives: Mapping[ASN, Sequence[AdminLifetime]]
+    ) -> None:
+        self._by_asn: Dict[ASN, List[HoldingRecord]] = {}
+        self._by_org: Dict[str, List[HoldingRecord]] = {}
+        for asn, lives in admin_lives.items():
+            for life in lives:
+                record = HoldingRecord(
+                    asn=asn,
+                    org_id=life.org_id,
+                    registry=life.registry,
+                    cc=life.cc,
+                    start=life.start,
+                    end=life.end,
+                    open_ended=life.open_ended,
+                )
+                self._by_asn.setdefault(asn, []).append(record)
+                if life.org_id is not None:
+                    self._by_org.setdefault(life.org_id, []).append(record)
+        for records in self._by_asn.values():
+            records.sort(key=lambda r: r.start)
+        for records in self._by_org.values():
+            records.sort(key=lambda r: r.start)
+
+    # -- lookups -----------------------------------------------------------
+
+    def history_of(self, asn: ASN) -> List[HoldingRecord]:
+        """Every holding of one ASN, oldest first."""
+        return list(self._by_asn.get(asn, ()))
+
+    def holder_on(self, asn: ASN, day: Day) -> Optional[HoldingRecord]:
+        """Who held the ASN on a given day, if anyone."""
+        for record in self._by_asn.get(asn, ()):
+            if record.start <= day <= record.end:
+                return record
+        return None
+
+    def holdings_of(self, org_id: str) -> List[HoldingRecord]:
+        """Every ASN an organization ever held."""
+        return list(self._by_org.get(org_id, ()))
+
+    def expired_holdings(self, *, before: Optional[Day] = None) -> List[HoldingRecord]:
+        """All ended holdings (the service's namesake query)."""
+        out = [
+            record
+            for records in self._by_asn.values()
+            for record in records
+            if not record.open_ended and (before is None or record.end < before)
+        ]
+        out.sort(key=lambda r: (r.end, r.asn))
+        return out
+
+    # -- the §6.3 investigation --------------------------------------------
+
+    def find_32bit_retries(
+        self,
+        *,
+        max_failed_duration: int = 31,
+        max_gap_days: int = 120,
+        registry: Optional[str] = None,
+    ) -> List[Retry32BitFinding]:
+        """Organizations whose short 32-bit allocation ended and who
+        received a 16-bit ASN shortly after — failed 32-bit deployments.
+        """
+        findings: List[Retry32BitFinding] = []
+        for org_id, records in sorted(self._by_org.items()):
+            for failed in records:
+                if not is_32bit_only(failed.asn) or failed.open_ended:
+                    continue
+                duration = failed.end - failed.start + 1
+                if duration > max_failed_duration:
+                    continue
+                if registry is not None and failed.registry != registry:
+                    continue
+                for replacement in records:
+                    if not is_16bit(replacement.asn):
+                        continue
+                    gap = replacement.start - failed.end
+                    if 0 <= gap <= max_gap_days:
+                        findings.append(
+                            Retry32BitFinding(
+                                org_id=org_id,
+                                failed_asn=failed.asn,
+                                failed_duration=duration,
+                                replacement_asn=replacement.asn,
+                                gap_days=gap,
+                            )
+                        )
+                        break
+        return findings
+
+    def reuse_chain(self, asn: ASN) -> List[Tuple[Optional[str], Day, Day]]:
+        """The succession of holders of one ASN, as (org, start, end).
+
+        Makes the §7 point concrete: with both dimensions, "it is
+        possible to separate behaviors from different allocations of
+        the same ASN".
+        """
+        return [
+            (record.org_id, record.start, record.end)
+            for record in self._by_asn.get(asn, ())
+        ]

@@ -1,0 +1,36 @@
+"""The synthetic Internet that substitutes for the paper's data feeds."""
+
+from .anomalies import AnomalyPlanner, DormantTarget
+from .behavior import BehaviorModel, LifeBehavior, Profile
+from .config import WorldConfig, bench, tiny
+from .countries import country_for
+from .datasets import DatasetBundle, build_datasets
+from .growth import daily_birth_rate, draw_lifetime_days, poisson, yearly_births
+from .organizations import Organization, OrgDirectory
+from .prefixes import PrefixPlan
+from .world import TrueLife, World, WorldSimulator, simulate
+
+__all__ = [
+    "WorldConfig",
+    "tiny",
+    "bench",
+    "WorldSimulator",
+    "World",
+    "TrueLife",
+    "simulate",
+    "DatasetBundle",
+    "build_datasets",
+    "BehaviorModel",
+    "LifeBehavior",
+    "Profile",
+    "AnomalyPlanner",
+    "DormantTarget",
+    "Organization",
+    "OrgDirectory",
+    "PrefixPlan",
+    "country_for",
+    "yearly_births",
+    "daily_birth_rate",
+    "draw_lifetime_days",
+    "poisson",
+]

@@ -1,0 +1,344 @@
+"""Anomaly scheduling: plant the §6 malicious and misconfigured events.
+
+Given the true administrative lives and their materialized behaviors,
+:class:`AnomalyPlanner` schedules the five event families of §6 with
+the exact joint-lens signatures the paper describes, returning both the
+ground-truth events and the extra BGP activity they generate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..asn.bogons import is_bogon_asn
+from ..asn.numbers import AS32_MAX, ASN, digit_count
+from ..bgp.anomalies import (
+    FAT_FINGER_DIGIT,
+    FAT_FINGER_PREPEND,
+    INTERNAL_LEAK,
+    NOISE_ORIGIN,
+    SQUAT_DORMANT,
+    SQUAT_POST_DEALLOC,
+    AnomalyEvent,
+)
+from ..bgp.stream import Announcement
+from ..timeline.dates import Day
+from ..timeline.intervals import Interval, IntervalSet
+from .config import WorldConfig
+from .prefixes import PrefixPlan
+
+__all__ = ["DormantTarget", "AnomalyPlanner"]
+
+
+@dataclass(frozen=True)
+class DormantTarget:
+    """An allocated ASN with a long silent span, squattable inside it."""
+
+    asn: ASN
+    silent_from: Day
+    silent_to: Day
+    admin_start: Day
+    admin_end: Day
+
+
+@dataclass
+class AnomalyPlanner:
+    """Schedules anomaly events; deterministic for a given RNG state."""
+
+    config: WorldConfig
+    rng: random.Random
+    prefixes: PrefixPlan
+    window_end: Day
+    extra_activity: Dict[ASN, List[Interval]] = field(default_factory=dict)
+    events: List[AnomalyEvent] = field(default_factory=list)
+
+    def _add_activity(self, asn: ASN, interval: Interval) -> None:
+        self.extra_activity.setdefault(asn, []).append(interval)
+
+    # -- §6.1.2: squatting of dormant (allocated) ASNs -------------------------
+
+    def plan_dormant_squats(
+        self,
+        targets: Sequence[DormantTarget],
+        factories: Sequence[ASN],
+        *,
+        min_dormancy: int = 1100,
+    ) -> None:
+        """Awaken dormant ASNs through "hijack factory" upstreams.
+
+        Each event keeps the paper's signature: >1000 days of allocated
+        silence first, then a burst far shorter than 5% of the
+        administrative life.  Some events are grouped onto the same
+        factory and overlapping days, reproducing the coordinated waves
+        (the 31-ASNs-wake-up-together episode of §6.1.2).
+        """
+        if not factories:
+            return
+        count = self.config.scaled(self.config.dormant_squat_events)
+        usable = [
+            t for t in targets if t.silent_to - t.silent_from + 1 >= min_dormancy
+        ]
+        self.rng.shuffle(usable)
+        wave_start: Optional[Day] = None
+        for index, target in enumerate(usable[:count]):
+            factory = factories[index % len(factories)]
+            earliest = target.silent_from + min_dormancy
+            latest = min(target.silent_to, self.window_end) - 40
+            if earliest >= latest:
+                continue
+            in_wave = index % 6 == 5 and wave_start is not None
+            if in_wave and earliest <= wave_start <= latest:
+                start = wave_start
+            else:
+                start = self.rng.randint(earliest, latest)
+                wave_start = start
+            duration = self.rng.randint(3, 31)
+            admin_days = target.admin_end - target.admin_start + 1
+            duration = min(duration, max(3, int(admin_days * 0.04)))
+            interval = Interval(start, min(start + duration - 1, self.window_end))
+            n_prefixes = self.rng.randint(5, 60)
+            self.events.append(
+                AnomalyEvent(
+                    kind=SQUAT_DORMANT,
+                    interval=interval,
+                    origin=target.asn,
+                    announcer=factory,
+                    prefixes=self.prefixes.hijack_prefixes(n_prefixes),
+                    note="dormant awakening",
+                )
+            )
+            self._add_activity(target.asn, interval)
+
+    # -- §6.4: squatting after deallocation -------------------------------------
+
+    def plan_post_dealloc_squats(
+        self,
+        candidates: Sequence[Tuple[ASN, Day, Optional[Day]]],
+        factories: Sequence[ASN],
+    ) -> None:
+        """Squat freshly deallocated ASNs.
+
+        ``candidates`` rows are (asn, dealloc day, last BGP day or
+        ``None``); the event starts days after deallocation but only
+        for ASNs whose own activity (if any) ended >1000 days earlier —
+        the AS12391 shape.
+        """
+        if not factories:
+            return
+        count = self.config.scaled(self.config.post_dealloc_squat_events)
+        planned = 0
+        for asn, dealloc_day, last_op in candidates:
+            if planned >= count:
+                break
+            start = dealloc_day + self.rng.randint(2, 45)
+            if last_op is not None and start - last_op < 1001:
+                continue
+            if start + 20 > self.window_end:
+                continue
+            interval = Interval(start, start + self.rng.randint(2, 20))
+            self.events.append(
+                AnomalyEvent(
+                    kind=SQUAT_POST_DEALLOC,
+                    interval=interval,
+                    origin=asn,
+                    announcer=factories[planned % len(factories)],
+                    prefixes=self.prefixes.hijack_prefixes(self.rng.randint(2, 6)),
+                    note="squat after deallocation",
+                )
+            )
+            self._add_activity(asn, interval)
+            planned += 1
+
+    # -- §6.4: fat-finger misconfigurations ---------------------------------------
+
+    def plan_fat_finger_prepends(
+        self, victims: Sequence[ASN], ever_allocated: Set[ASN]
+    ) -> None:
+        """Failed prepends: the origin becomes the first hop's digits
+        doubled (AS32026 → AS3202632026)."""
+        count = self.config.scaled(self.config.fat_finger_prepend_events)
+        planned = 0
+        for victim in victims:
+            if planned >= count:
+                break
+            typo = int(str(victim) * 2)
+            if typo > AS32_MAX or typo in ever_allocated or is_bogon_asn(typo):
+                continue
+            start = self.rng.randint(1, max(1, self.window_end - 400))
+            start = max(start, self.window_end - self.rng.randint(400, 5000))
+            duration = self.rng.randint(1, 300)
+            interval = Interval(start, min(start + duration - 1, self.window_end))
+            self.events.append(
+                AnomalyEvent(
+                    kind=FAT_FINGER_PREPEND,
+                    interval=interval,
+                    origin=typo,
+                    announcer=victim,
+                    prefixes=(self.prefixes.own_prefix(victim),),
+                    victim=victim,
+                    note="failed AS-path prepend",
+                )
+            )
+            self._add_activity(typo, interval)
+            planned += 1
+
+    def plan_fat_finger_digits(
+        self,
+        victims: Sequence[Tuple[ASN, Interval]],
+        ever_allocated: Set[ASN],
+    ) -> None:
+        """One-digit typos causing months-long MOAS conflicts.
+
+        The announcer is the *victim's own network*: its router
+        originates with a mistyped ASN while the network also announces
+        the prefix legitimately — which is why the paper could verify
+        "the upstream ASNs in the AS paths match the upstreams of the
+        corresponding legitimate ASN".  ``victims`` rows carry the
+        victim's activity span so the typo overlaps real announcements
+        (the MOAS the paper observes).
+        """
+        count = self.config.scaled(self.config.fat_finger_digit_events)
+        planned = 0
+        for victim, active_span in victims:
+            if planned >= count:
+                break
+            typo = self._mutate_digit(victim, ever_allocated)
+            if typo is None:
+                continue
+            duration = self.rng.randint(30, 300)  # "can last several months"
+            latest = min(active_span.end - duration, self.window_end - duration)
+            if latest <= active_span.start:
+                continue
+            start = self.rng.randint(active_span.start, latest)
+            interval = Interval(start, min(start + duration - 1, self.window_end))
+            self.events.append(
+                AnomalyEvent(
+                    kind=FAT_FINGER_DIGIT,
+                    interval=interval,
+                    origin=typo,
+                    announcer=victim,
+                    prefixes=(self.prefixes.own_prefix(victim),),  # MOAS!
+                    victim=victim,
+                    note="one-digit origin typo",
+                )
+            )
+            self._add_activity(typo, interval)
+            planned += 1
+
+    def _mutate_digit(self, victim: ASN, ever_allocated: Set[ASN]) -> Optional[ASN]:
+        digits = str(victim)
+        for _ in range(8):
+            pos = self.rng.randrange(len(digits))
+            replacement = str(self.rng.randint(0, 9))
+            if replacement == digits[pos] or (pos == 0 and replacement == "0"):
+                continue
+            mutated = int(digits[:pos] + replacement + digits[pos + 1 :])
+            if (
+                mutated != victim
+                and mutated <= AS32_MAX
+                and mutated not in ever_allocated
+                and not is_bogon_asn(mutated)
+            ):
+                return mutated
+        return None
+
+    # -- §6.4: internal numbering leaks ----------------------------------------------
+
+    def plan_internal_leaks(
+        self, big_transits: Sequence[ASN], ever_allocated: Set[ASN]
+    ) -> None:
+        """Huge valid-but-never-allocated ASNs leaking through a large
+        operator for months to years (the AS290012147 pattern)."""
+        count = self.config.scaled(self.config.internal_leak_events)
+        planned = 0
+        attempts = 0
+        while planned < count and attempts < count * 20 and big_transits:
+            attempts += 1
+            origin = self.rng.randint(10**8, 4_190_000_000)
+            if origin in ever_allocated or is_bogon_asn(origin):
+                continue
+            if digit_count(origin) < 9:
+                continue
+            carrier = big_transits[planned % len(big_transits)]
+            covering, leaked = self.prefixes.leak_pair()
+            duration = self.rng.randint(180, 900)  # months to years
+            start = self.rng.randint(1, max(2, self.window_end - duration - 1))
+            start = max(start, self.window_end - self.rng.randint(duration, 4000))
+            interval = Interval(start, min(start + duration - 1, self.window_end))
+            self.events.append(
+                AnomalyEvent(
+                    kind=INTERNAL_LEAK,
+                    interval=interval,
+                    origin=origin,
+                    announcer=carrier,
+                    prefixes=(leaked,),
+                    victim=carrier,
+                    note=f"internal ASN leaking inside {covering}",
+                    # the operator legitimately announces the covering
+                    # aggregate the leaked /24 falls inside (§6.4)
+                    extra_announcements=(
+                        Announcement(announcer=carrier, prefix=covering),
+                    ),
+                )
+            )
+            self._add_activity(origin, interval)
+            planned += 1
+
+    # -- §6.4: unexplained never-allocated noise ------------------------------------
+
+    def plan_noise_origins(
+        self, announcers: Sequence[ASN], ever_allocated: Set[ASN]
+    ) -> None:
+        """Short-lived never-allocated origins with no clean explanation.
+
+        The paper's 868 never-allocated ASNs are dominated by brief
+        appearances: only 427 were active more than one day, 186 more
+        than a month, 15 more than a year.  Durations here follow that
+        skew.
+        """
+        if not announcers:
+            return
+        count = self.config.scaled(self.config.noise_origin_events)
+        planned = 0
+        attempts = 0
+        while planned < count and attempts < count * 20:
+            attempts += 1
+            origin = self.rng.randint(100_000, 4_000_000)
+            if origin in ever_allocated or is_bogon_asn(origin):
+                continue
+            roll = self.rng.random()
+            if roll < 0.50:
+                duration = 1
+            elif roll < 0.80:
+                duration = self.rng.randint(2, 30)
+            elif roll < 0.98:
+                duration = self.rng.randint(31, 365)
+            else:
+                duration = self.rng.randint(366, 900)
+            start = self.rng.randint(1, max(2, self.window_end - duration - 1))
+            start = max(start, self.window_end - self.rng.randint(duration, 6000))
+            interval = Interval(start, min(start + duration - 1, self.window_end))
+            announcer = announcers[planned % len(announcers)]
+            self.events.append(
+                AnomalyEvent(
+                    kind=NOISE_ORIGIN,
+                    interval=interval,
+                    origin=origin,
+                    announcer=announcer,
+                    prefixes=self.prefixes.hijack_prefixes(1),
+                    note="unexplained never-allocated origin",
+                )
+            )
+            self._add_activity(origin, interval)
+            planned += 1
+
+    # -- assembly ----------------------------------------------------------------------
+
+    def activity_additions(self) -> Dict[ASN, IntervalSet]:
+        """The per-ASN extra observed activity all events generate."""
+        return {
+            asn: IntervalSet(intervals)
+            for asn, intervals in self.extra_activity.items()
+        }

@@ -1,0 +1,226 @@
+"""Operational behavior profiles: how allocated ASNs act in BGP.
+
+For every true administrative life the simulator decides a profile and
+materializes daily activity:
+
+* **unused** — never announced (probability shaped by country, hoarder
+  status, and NIR block membership — the §6.3 mechanisms);
+* **normal** — activity starts a few weeks after allocation (median
+  just over a month, §6.1.1), ends months before deallocation (the
+  late-deallocation lag), with occasional intra-life gaps whose length
+  distribution puts its knee at ~30 days (Fig. 3);
+* **retired** — goes silent years before the allocation ends, creating
+  the dormant population squatters target (§6.1.2);
+* **conference** — one week of activity a few times a year (the AFNOG
+  / APRICOT pattern behind >10 operational lives, §6.1.1);
+* **dangling** / **early start** — §6.2's partial overlaps.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..timeline.dates import Day
+from ..timeline.intervals import Interval, IntervalSet
+from .config import WorldConfig
+from .growth import poisson
+
+__all__ = ["Profile", "BehaviorModel", "LifeBehavior"]
+
+
+class Profile:
+    """Profile labels (ground truth, kept for scoring and tests)."""
+
+    UNUSED = "unused"
+    NORMAL = "normal"
+    RETIRED = "retired"
+    CONFERENCE = "conference"
+
+
+@dataclass
+class LifeBehavior:
+    """The materialized behavior of one administrative life."""
+
+    profile: str
+    activity: IntervalSet
+    dangling: bool = False
+    early_start: bool = False
+    dormant_from: Optional[Day] = None  # first day of terminal silence
+
+
+class BehaviorModel:
+    """Draws per-life operational behavior, deterministically per seed."""
+
+    def __init__(self, config: WorldConfig, rng: random.Random) -> None:
+        self._config = config
+        self._rng = rng
+
+    # -- profile choice ------------------------------------------------------
+
+    def unused_probability(
+        self, cc: str, *, hoarder: bool, via_nir: bool
+    ) -> float:
+        config = self._config
+        p = config.unused_probability
+        p *= config.unused_country_multiplier.get(cc, 1.0)
+        if hoarder:
+            p = 1.0 - config.hoarder_used_probability
+        if via_nir:
+            p = max(p, 0.45)  # NIR sub-allocations often invisible (§6.3)
+        return min(p, 0.97)
+
+    def choose_profile(
+        self, cc: str, *, hoarder: bool, via_nir: bool, conference: bool
+    ) -> str:
+        rng = self._rng
+        if conference:
+            return Profile.CONFERENCE
+        if rng.random() < self.unused_probability(cc, hoarder=hoarder, via_nir=via_nir):
+            return Profile.UNUSED
+        if rng.random() < self._config.sporadic_rate:
+            return Profile.CONFERENCE
+        if rng.random() < 0.06:
+            return Profile.RETIRED
+        return Profile.NORMAL
+
+    # -- activity materialization ---------------------------------------------
+
+    def behavior_for_life(
+        self,
+        *,
+        start: Day,
+        end: Optional[Day],
+        window_end: Day,
+        reclaim_median: int,
+        cc: str,
+        hoarder: bool = False,
+        via_nir: bool = False,
+        conference: bool = False,
+    ) -> LifeBehavior:
+        """Materialize the activity of one administrative life.
+
+        ``end is None`` means the allocation outlives the window.  The
+        returned activity may exceed [start, end] for dangling and
+        early-start lives, but never the observation window.
+        """
+        rng = self._rng
+        profile = self.choose_profile(
+            cc, hoarder=hoarder, via_nir=via_nir, conference=conference
+        )
+        if profile == Profile.UNUSED:
+            return LifeBehavior(profile=profile, activity=IntervalSet())
+        admin_end = end if end is not None else window_end
+
+        if profile == Profile.CONFERENCE:
+            return LifeBehavior(
+                profile=profile,
+                activity=self._conference_activity(start, admin_end),
+            )
+
+        early = rng.random() < self._config.early_start_rate
+        if early:
+            op_start = max(start - rng.randint(1, 10), 1)
+        else:
+            op_start = start + self._start_delay()
+
+        dangling = False
+        if end is None:
+            if profile == Profile.RETIRED:
+                # go silent somewhere inside the life, leaving a long
+                # allocated-but-dormant tail
+                op_end = op_start + max(
+                    30, int((admin_end - op_start) * rng.uniform(0.05, 0.6))
+                )
+            else:
+                op_end = admin_end
+        else:
+            lag = self._reclaim_lag(reclaim_median)
+            op_end = end - lag
+            if rng.random() < self._config.dangling_rate:
+                dangling = True
+                op_end = end + rng.randint(10, 700)
+        op_end = min(op_end, window_end)
+        if op_end < op_start:
+            return LifeBehavior(profile=Profile.UNUSED, activity=IntervalSet())
+
+        activity = self._punch_gaps(op_start, op_end)
+        if (
+            end is not None
+            and not dangling
+            and rng.random() < self._config.ghost_burst_rate
+        ):
+            # a detached burst well after deallocation (stuck routes /
+            # stale router configs): an operational life entirely
+            # outside the administrative one (§6.4)
+            burst_start = end + rng.randint(40, 400)
+            burst_end = burst_start + rng.randint(0, 59)
+            if burst_start <= window_end:
+                activity = activity.add(
+                    Interval(burst_start, min(burst_end, window_end))
+                )
+        dormant_from = None
+        if profile == Profile.RETIRED and end is None and op_end < admin_end:
+            dormant_from = op_end + 1
+        return LifeBehavior(
+            profile=profile,
+            activity=activity,
+            dangling=dangling,
+            early_start=early,
+            dormant_from=dormant_from,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _start_delay(self) -> int:
+        """Exponential delay with the configured median (>1 month)."""
+        median = self._config.median_start_delay
+        return int(self._rng.expovariate(math.log(2) / median))
+
+    def _reclaim_lag(self, median: int) -> int:
+        """Days between the last BGP day and deallocation (§6.1.1)."""
+        return int(self._rng.expovariate(math.log(2) / median))
+
+    def _punch_gaps(self, start: Day, end: Day) -> IntervalSet:
+        """Carve intra-life inactivity gaps into a continuous span."""
+        rng = self._rng
+        duration = end - start + 1
+        expected = duration / 800 * self._config.gap_rate_per_800_days
+        holes: List[Interval] = []
+        for _ in range(poisson(rng, expected)):
+            if rng.random() < self._config.short_gap_share:
+                length = rng.randint(1, 30)
+            else:
+                length = rng.randint(31, 400)
+            if length >= duration - 2:
+                continue
+            gap_start = rng.randint(start + 1, end - length)
+            holes.append(Interval(gap_start, gap_start + length - 1))
+        activity = IntervalSet([Interval(start, end)])
+        for hole in holes:
+            activity = activity.difference(IntervalSet([hole]))
+        return activity
+
+    def _conference_activity(self, start: Day, end: Day) -> IntervalSet:
+        """One week of activity every ~120 days."""
+        rng = self._rng
+        intervals: List[Interval] = []
+        cursor = start + rng.randint(0, 60)
+        while cursor + 7 <= end:
+            intervals.append(Interval(cursor, cursor + rng.randint(4, 8)))
+            cursor += rng.randint(90, 160)
+        if not intervals and start <= end:
+            intervals.append(Interval(start, min(start + 6, end)))
+        return IntervalSet(intervals)
+
+    def spurious_days(self, window_start: Day, window_end: Day) -> IntervalSet:
+        """A couple of isolated single-peer observation days."""
+        rng = self._rng
+        count = rng.randint(1, 3)
+        days = set()
+        for _ in range(count):
+            day = rng.randint(window_start, window_end)
+            days.update(range(day, day + rng.randint(1, 2)))
+        return IntervalSet.from_days(d for d in days if d <= window_end)

@@ -1,0 +1,121 @@
+"""End-to-end dataset construction: world → archive → restore → lifetimes.
+
+:func:`build_datasets` runs the whole pipeline of the paper's Fig. 1:
+the simulated world substitutes for the RIR FTP sites and the BGP
+collectors, the pitfall injector corrupts the archive the way reality
+does, the §3.1 restoration undoes it, and the §4 builders emit the two
+lifetime datasets.  The returned bundle carries every intermediate
+artifact plus the ground truth, so analyses can be validated and not
+just run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..asn.numbers import ASN
+from ..core.joint import JointAnalysis
+from ..lifetimes.admin import build_admin_lifetimes
+from ..lifetimes.bgp import build_bgp_lifetimes
+from ..lifetimes.records import AdminLifetime, BgpLifetime
+from ..restoration.pipeline import RestoredDelegations, restore_archive
+from ..restoration.report import RestorationReport
+from ..rir.archive import DelegationArchive
+from ..rir.pitfalls import InjectedDefect, PitfallConfig, PitfallInjector
+from .config import WorldConfig, tiny
+from .world import World, WorldSimulator
+
+__all__ = ["DatasetBundle", "build_datasets"]
+
+
+@dataclass
+class DatasetBundle:
+    """Everything one experiment run produces."""
+
+    world: World
+    archive: DelegationArchive
+    injected_defects: List[InjectedDefect]
+    restored: RestoredDelegations
+    restoration_report: RestorationReport
+    admin_lives: Dict[ASN, List[AdminLifetime]]
+    op_lives: Dict[ASN, List[BgpLifetime]]
+    joint: JointAnalysis = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.joint = JointAnalysis(
+            admin_lives=self.admin_lives,
+            op_lives=self.op_lives,
+            end_day=self.world.end_day,
+            topology=self.world.topology,
+            siblings=self.world.orgs.sibling_map(),
+            truth=self.world.events,
+        )
+
+    def registry_of(self) -> Dict[ASN, str]:
+        """ASN → final registry (for the per-RIR tables)."""
+        return {
+            asn: lives[-1].registry
+            for asn, lives in self.admin_lives.items()
+            if lives
+        }
+
+    def rebuild_op_lives(
+        self, *, timeout: int, min_peers: int = 2
+    ) -> Dict[ASN, List[BgpLifetime]]:
+        """Re-segment operational lifetimes under different parameters
+        (Table 5 / the visibility ablation) without re-simulating."""
+        return build_bgp_lifetimes(
+            self.world.activities,
+            timeout=timeout,
+            min_peers=min_peers,
+            end_day=self.world.end_day,
+        )
+
+
+def build_datasets(
+    config: Optional[WorldConfig] = None,
+    *,
+    inject_pitfalls: bool = True,
+    pitfall_config: Optional[PitfallConfig] = None,
+    timeout: int = 30,
+    min_peers: int = 2,
+) -> DatasetBundle:
+    """Run the full pipeline for one world configuration."""
+    if config is None:
+        config = tiny()
+    world = WorldSimulator(config).run()
+
+    clean = DelegationArchive(world.registries, config.end_day)
+    windows = {w.source: (w.first_day, w.last_day) for w in clean.sources()}
+    defects: List[InjectedDefect] = []
+    if inject_pitfalls:
+        injector = PitfallInjector(
+            world.registries,
+            config.end_day,
+            seed=config.seed + 6,
+            config=pitfall_config if pitfall_config is not None else PitfallConfig(),
+        )
+        overlay = injector.inject_all(windows, world.transfers)
+        defects = injector.truth
+        archive = DelegationArchive(world.registries, config.end_day, overlay)
+    else:
+        archive = clean
+
+    restored, report = restore_archive(
+        archive, erx_reference=world.erx_reference, ledger=world.ledger
+    )
+    admin_lives = build_admin_lifetimes(restored)
+    op_lives = build_bgp_lifetimes(
+        world.activities, timeout=timeout, min_peers=min_peers,
+        end_day=config.end_day,
+    )
+    return DatasetBundle(
+        world=world,
+        archive=archive,
+        injected_defects=defects,
+        restored=restored,
+        restoration_report=report,
+        admin_lives=admin_lives,
+        op_lives=op_lives,
+    )

@@ -1,0 +1,99 @@
+"""Organizations holding ASN allocations.
+
+Organizations matter to three analyses: the opaque id in extended files
+groups an org's resources; *sibling* ASNs (an org holding several)
+explain both sporadic BGP activity and a slice of the never-used
+population (§6.1.1, §6.3); and a few *hoarders* (the US DoD / Verisign
+/ France Telecom pattern) hold large blocks they mostly never announce.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..asn.numbers import ASN
+
+__all__ = ["Organization", "OrgDirectory"]
+
+
+@dataclass
+class Organization:
+    """One resource-holding organization."""
+
+    org_id: str
+    registry: str
+    cc: str
+    asns: List[ASN] = field(default_factory=list)
+    is_hoarder: bool = False
+    is_nir: bool = False
+    is_conference_network: bool = False
+
+    @property
+    def is_sibling_org(self) -> bool:
+        """True when the org holds more than one ASN."""
+        return len(self.asns) > 1
+
+
+class OrgDirectory:
+    """Registry of organizations, with deterministic id generation."""
+
+    def __init__(self) -> None:
+        self._orgs: Dict[str, Organization] = {}
+        self._counter = 0
+        self._by_registry: Dict[str, List[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._orgs)
+
+    def get(self, org_id: str) -> Organization:
+        return self._orgs[org_id]
+
+    def __contains__(self, org_id: str) -> bool:
+        return org_id in self._orgs
+
+    def new_org(
+        self,
+        registry: str,
+        cc: str,
+        *,
+        hoarder: bool = False,
+        nir: bool = False,
+        conference: bool = False,
+    ) -> Organization:
+        self._counter += 1
+        prefix = "NIR" if nir else "ORG"
+        org = Organization(
+            org_id=f"{prefix}-{registry.upper()[:2]}{self._counter:06d}",
+            registry=registry,
+            cc=cc,
+            is_hoarder=hoarder,
+            is_nir=nir,
+            is_conference_network=conference,
+        )
+        self._orgs[org.org_id] = org
+        self._by_registry.setdefault(registry, []).append(org.org_id)
+        return org
+
+    def random_existing(
+        self, registry: str, rng: random.Random
+    ) -> Optional[Organization]:
+        """A uniformly random org of the registry (for sibling growth)."""
+        ids = self._by_registry.get(registry)
+        if not ids:
+            return None
+        return self._orgs[rng.choice(ids)]
+
+    def attach(self, org: Organization, asn: ASN) -> None:
+        org.asns.append(asn)
+
+    def sibling_map(self) -> Dict[str, List[ASN]]:
+        """org id → held ASNs, the §6.3 sibling-analysis input."""
+        return {org_id: list(org.asns) for org_id, org in self._orgs.items()}
+
+    def hoarders(self) -> List[Organization]:
+        return [o for o in self._orgs.values() if o.is_hoarder]
+
+    def organizations(self) -> List[Organization]:
+        return list(self._orgs.values())

@@ -1,0 +1,44 @@
+"""Daily-granularity time substrate: day ordinals and interval algebra."""
+
+from .dates import (
+    PAPER_END,
+    PAPER_START,
+    Day,
+    add_days,
+    day,
+    days_between,
+    from_iso,
+    iter_days,
+    iter_quarters,
+    month_of,
+    month_start,
+    quarter_of,
+    quarter_start,
+    to_date,
+    to_iso,
+    year_of,
+    year_start,
+)
+from .intervals import Interval, IntervalSet
+
+__all__ = [
+    "Day",
+    "day",
+    "from_iso",
+    "to_date",
+    "to_iso",
+    "add_days",
+    "year_of",
+    "month_of",
+    "quarter_of",
+    "quarter_start",
+    "month_start",
+    "year_start",
+    "days_between",
+    "iter_days",
+    "iter_quarters",
+    "Interval",
+    "IntervalSet",
+    "PAPER_START",
+    "PAPER_END",
+]

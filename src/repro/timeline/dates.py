@@ -1,0 +1,146 @@
+"""Day arithmetic for the longitudinal analyses.
+
+Everything in this library that refers to time does so at *daily*
+granularity, mirroring the paper: delegation files are published once a
+day, and BGP activity is aggregated per day (§4.2).  To keep the hot
+paths cheap, a day is represented as the proleptic Gregorian ordinal of
+the calendar date (an ``int``, as returned by
+:meth:`datetime.date.toordinal`).  This module holds the conversions and
+bucketing helpers; the rest of the library passes bare ``int`` days
+around and only converts at I/O boundaries.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterator, Tuple
+
+__all__ = [
+    "Day",
+    "day",
+    "from_iso",
+    "to_date",
+    "to_iso",
+    "today_guard",
+    "add_days",
+    "year_of",
+    "month_of",
+    "quarter_of",
+    "quarter_start",
+    "month_start",
+    "year_start",
+    "days_between",
+    "iter_days",
+    "iter_quarters",
+    "PAPER_START",
+    "PAPER_END",
+]
+
+#: Alias used in signatures throughout the library: a proleptic
+#: Gregorian ordinal, one per calendar day.
+Day = int
+
+#: First day of the paper's BGP observation window (2003-10-09, §3.2).
+PAPER_START: Day = _dt.date(2003, 10, 9).toordinal()
+
+#: Last day of the paper's observation window (2021-03-01, §3.1/§3.2).
+PAPER_END: Day = _dt.date(2021, 3, 1).toordinal()
+
+
+def day(year: int, month: int, dom: int) -> Day:
+    """Return the ordinal day for a calendar date given as Y/M/D."""
+    return _dt.date(year, month, dom).toordinal()
+
+
+def from_iso(text: str) -> Day:
+    """Parse an ISO ``YYYY-MM-DD`` date (the delegation-file format)."""
+    return _dt.date.fromisoformat(text).toordinal()
+
+
+def to_date(d: Day) -> _dt.date:
+    """Return the :class:`datetime.date` for an ordinal day."""
+    return _dt.date.fromordinal(d)
+
+
+def to_iso(d: Day) -> str:
+    """Format an ordinal day as ``YYYY-MM-DD``."""
+    return _dt.date.fromordinal(d).isoformat()
+
+
+def today_guard() -> None:
+    """Raise: the library is deterministic and must not read the clock.
+
+    Any code path tempted to call ``date.today()`` should call this
+    instead so that the mistake surfaces loudly in tests.
+    """
+    raise RuntimeError(
+        "repro is a deterministic simulation library; wall-clock access "
+        "is forbidden. Pass explicit Day values instead."
+    )
+
+
+def add_days(d: Day, n: int) -> Day:
+    """Return the day ``n`` days after ``d`` (``n`` may be negative)."""
+    return d + n
+
+
+def year_of(d: Day) -> int:
+    """Return the calendar year containing day ``d``."""
+    return _dt.date.fromordinal(d).year
+
+
+def month_of(d: Day) -> Tuple[int, int]:
+    """Return ``(year, month)`` for day ``d``."""
+    dd = _dt.date.fromordinal(d)
+    return dd.year, dd.month
+
+
+def quarter_of(d: Day) -> Tuple[int, int]:
+    """Return ``(year, quarter)`` for day ``d`` (quarters are 1..4)."""
+    dd = _dt.date.fromordinal(d)
+    return dd.year, (dd.month - 1) // 3 + 1
+
+
+def quarter_start(year: int, quarter: int) -> Day:
+    """Return the first day of quarter ``quarter`` (1..4) of ``year``."""
+    if not 1 <= quarter <= 4:
+        raise ValueError(f"quarter must be 1..4, got {quarter}")
+    return _dt.date(year, 3 * (quarter - 1) + 1, 1).toordinal()
+
+
+def month_start(year: int, month: int) -> Day:
+    """Return the first day of the given month."""
+    return _dt.date(year, month, 1).toordinal()
+
+
+def year_start(year: int) -> Day:
+    """Return January 1st of ``year`` as an ordinal day."""
+    return _dt.date(year, 1, 1).toordinal()
+
+
+def days_between(start: Day, end: Day) -> int:
+    """Return the *inclusive* day count of the span ``[start, end]``.
+
+    This is the paper's notion of lifetime duration: an ASN allocated
+    and deallocated on the same day lived for one day.
+    """
+    if end < start:
+        raise ValueError(f"end {to_iso(end)} precedes start {to_iso(start)}")
+    return end - start + 1
+
+
+def iter_days(start: Day, end: Day) -> Iterator[Day]:
+    """Yield every day of the inclusive span ``[start, end]``."""
+    return iter(range(start, end + 1))
+
+
+def iter_quarters(start: Day, end: Day) -> Iterator[Tuple[int, int]]:
+    """Yield ``(year, quarter)`` buckets covering ``[start, end]``."""
+    year, quarter = quarter_of(start)
+    last = quarter_of(end)
+    while (year, quarter) <= last:
+        yield year, quarter
+        quarter += 1
+        if quarter == 5:
+            quarter = 1
+            year += 1

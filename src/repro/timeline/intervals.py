@@ -1,0 +1,317 @@
+"""Closed integer intervals and disjoint interval sets.
+
+Administrative and operational lifetimes are both *closed* day
+intervals: ``Interval(start, end)`` covers every day from ``start`` to
+``end`` inclusive.  :class:`IntervalSet` maintains a sorted, disjoint,
+non-adjacent-merged collection of them and provides the algebra every
+joint analysis in the paper needs — union, intersection, gaps, coverage
+ratios, containment tests.
+
+The joint analyses (§5, §6) are essentially interval algebra at scale,
+so these types are deliberately small, immutable where cheap, and well
+tested (including property-based tests against a brute-force day-set
+model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .dates import Day, to_iso
+
+__all__ = ["Interval", "IntervalSet"]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed day interval ``[start, end]`` (both inclusive)."""
+
+    start: Day
+    end: Day
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"interval end {to_iso(self.end)} precedes start {to_iso(self.start)}"
+            )
+
+    @property
+    def duration(self) -> int:
+        """Inclusive length in days; a single-day interval has duration 1."""
+        return self.end - self.start + 1
+
+    def __contains__(self, d: Day) -> bool:
+        return self.start <= d <= self.end
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """True when ``other`` lies entirely within this interval."""
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two closed intervals share at least one day."""
+        return self.start <= other.end and other.start <= self.end
+
+    def touches(self, other: "Interval") -> bool:
+        """True when the intervals overlap or are adjacent (gap of 0 days)."""
+        return self.start <= other.end + 1 and other.start <= self.end + 1
+
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        """Return the shared span, or ``None`` when disjoint."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def gap_to(self, other: "Interval") -> int:
+        """Days strictly between two disjoint intervals (0 when adjacent
+        or overlapping).
+
+        Used for the BGP inactivity-timeout segmentation (§4.2): two
+        activity bursts belong to the same operational life when the gap
+        between them does not exceed the timeout.
+        """
+        if self.overlaps(other):
+            return 0
+        if self.end < other.start:
+            return other.start - self.end - 1
+        return self.start - other.end - 1
+
+    def shift(self, n: int) -> "Interval":
+        """Return a copy moved ``n`` days (negative = earlier)."""
+        return Interval(self.start + n, self.end + n)
+
+    def clamp(self, lo: Day, hi: Day) -> Optional["Interval"]:
+        """Clip to ``[lo, hi]``; ``None`` when nothing remains."""
+        return self.intersection(Interval(lo, hi))
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{to_iso(self.start)} .. {to_iso(self.end)}]"
+
+
+class IntervalSet:
+    """A set of days stored as sorted, disjoint, merged closed intervals.
+
+    Adjacent intervals are always coalesced, so the representation is
+    canonical: two ``IntervalSet``s covering the same days compare
+    equal.  All read operations are O(log n) or O(n); construction from
+    an unsorted iterable is O(n log n).
+    """
+
+    __slots__ = ("_ivs",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._ivs: List[Interval] = self._normalize(intervals)
+
+    @staticmethod
+    def _normalize(intervals: Iterable[Interval]) -> List[Interval]:
+        ivs = sorted(intervals, key=lambda iv: iv.start)
+        merged: List[Interval] = []
+        for iv in ivs:
+            if merged and merged[-1].touches(iv):
+                last = merged[-1]
+                if iv.end > last.end:
+                    merged[-1] = Interval(last.start, iv.end)
+            else:
+                merged.append(iv)
+        return merged
+
+    @classmethod
+    def from_days(cls, days: Iterable[Day]) -> "IntervalSet":
+        """Build from an iterable of individual days (need not be sorted).
+
+        This is how daily BGP activity observations are turned into raw
+        activity spans before timeout segmentation.
+        """
+        out = cls()
+        sorted_days = sorted(set(days))
+        if not sorted_days:
+            return out
+        ivs: List[Interval] = []
+        run_start = prev = sorted_days[0]
+        for d in sorted_days[1:]:
+            if d == prev + 1:
+                prev = d
+                continue
+            ivs.append(Interval(run_start, prev))
+            run_start = prev = d
+        ivs.append(Interval(run_start, prev))
+        out._ivs = ivs
+        return out
+
+    # -- basic protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ivs)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._ivs)
+
+    def __bool__(self) -> bool:
+        return bool(self._ivs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._ivs == other._ivs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(str(iv) for iv in self._ivs)
+        return f"IntervalSet({inner})"
+
+    @property
+    def intervals(self) -> Sequence[Interval]:
+        """The sorted, disjoint intervals (read-only view)."""
+        return tuple(self._ivs)
+
+    @property
+    def total_days(self) -> int:
+        """Total number of distinct days covered."""
+        return sum(iv.duration for iv in self._ivs)
+
+    @property
+    def span(self) -> Optional[Interval]:
+        """Smallest single interval covering the whole set, or ``None``."""
+        if not self._ivs:
+            return None
+        return Interval(self._ivs[0].start, self._ivs[-1].end)
+
+    def __contains__(self, d: Day) -> bool:
+        lo, hi = 0, len(self._ivs) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            iv = self._ivs[mid]
+            if d < iv.start:
+                hi = mid - 1
+            elif d > iv.end:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    # -- algebra -------------------------------------------------------
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """Days in either set."""
+        return IntervalSet(list(self._ivs) + list(other._ivs))
+
+    def add(self, iv: Interval) -> "IntervalSet":
+        """Return a new set with ``iv`` merged in."""
+        return IntervalSet(list(self._ivs) + [iv])
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        """Days in both sets (linear merge of the two sorted lists)."""
+        out: List[Interval] = []
+        i = j = 0
+        a, b = self._ivs, other._ivs
+        while i < len(a) and j < len(b):
+            hit = a[i].intersection(b[j])
+            if hit is not None:
+                out.append(hit)
+            if a[i].end < b[j].end:
+                i += 1
+            else:
+                j += 1
+        result = IntervalSet()
+        result._ivs = out  # already sorted & disjoint
+        return result
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        """Days in this set but not in ``other``."""
+        out: List[Interval] = []
+        j = 0
+        b = other._ivs
+        for iv in self._ivs:
+            cur = iv.start
+            while j < len(b) and b[j].end < cur:
+                j += 1
+            k = j
+            while k < len(b) and b[k].start <= iv.end:
+                blocker = b[k]
+                if blocker.start > cur:
+                    out.append(Interval(cur, blocker.start - 1))
+                cur = max(cur, blocker.end + 1)
+                if cur > iv.end:
+                    break
+                k += 1
+            if cur <= iv.end:
+                out.append(Interval(cur, iv.end))
+        result = IntervalSet()
+        result._ivs = result._normalize(out)
+        return result
+
+    def gaps(self) -> "IntervalSet":
+        """The spans strictly between consecutive intervals.
+
+        The distribution of per-ASN activity gaps (Fig. 3, red line) is
+        computed from these.
+        """
+        out: List[Interval] = []
+        for prev, nxt in zip(self._ivs, self._ivs[1:]):
+            out.append(Interval(prev.end + 1, nxt.start - 1))
+        result = IntervalSet()
+        result._ivs = out
+        return result
+
+    def overlap_days(self, iv: Interval) -> int:
+        """Number of covered days falling inside ``iv``."""
+        total = 0
+        for mine in self._ivs:
+            hit = mine.intersection(iv)
+            if hit is not None:
+                total += hit.duration
+            elif mine.start > iv.end:
+                break
+        return total
+
+    def coverage_of(self, iv: Interval) -> float:
+        """Fraction of ``iv`` covered by this set (0.0 .. 1.0).
+
+        This is the paper's *utilization* of an administrative lifetime
+        (Fig. 7) when the set holds the ASN's operational lifetimes.
+        """
+        return self.overlap_days(iv) / iv.duration
+
+    def clamp(self, lo: Day, hi: Day) -> "IntervalSet":
+        """Clip every interval to ``[lo, hi]``."""
+        window = Interval(lo, hi)
+        out: List[Interval] = []
+        for iv in self._ivs:
+            hit = iv.intersection(window)
+            if hit is not None:
+                out.append(hit)
+        result = IntervalSet()
+        result._ivs = out
+        return result
+
+    def merge_gaps(self, max_gap: int) -> "IntervalSet":
+        """Coalesce intervals separated by gaps of at most ``max_gap`` days.
+
+        This implements the §4.2 inactivity-timeout rule: with the
+        paper's 30-day timeout, activity bursts less than or equal to 30
+        days apart form a single operational lifetime.
+        """
+        if max_gap < 0:
+            raise ValueError("max_gap must be >= 0")
+        if not self._ivs:
+            return IntervalSet()
+        out: List[Interval] = [self._ivs[0]]
+        for iv in self._ivs[1:]:
+            last = out[-1]
+            if iv.start - last.end - 1 <= max_gap:
+                out[-1] = Interval(last.start, max(last.end, iv.end))
+            else:
+                out.append(iv)
+        result = IntervalSet()
+        result._ivs = out
+        return result
+
+    def days(self) -> Iterator[Day]:
+        """Yield every covered day in ascending order."""
+        for iv in self._ivs:
+            yield from range(iv.start, iv.end + 1)
+
+    def gap_lengths(self) -> List[int]:
+        """Lengths (in days) of the gaps between consecutive intervals."""
+        return [nxt.start - prev.end - 1 for prev, nxt in zip(self._ivs, self._ivs[1:])]

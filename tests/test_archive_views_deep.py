@@ -1,0 +1,109 @@
+"""Deeper checks of archive accounting and restoration views."""
+
+import pytest
+
+from repro.asn import IanaLedger
+from repro.rir import (
+    EXTENDED,
+    REGULAR,
+    ArchiveOverlay,
+    DelegationArchive,
+    Registry,
+    default_policy,
+)
+from repro.restoration import build_registry_view
+from repro.timeline import from_iso
+
+
+def make_world(end="2015-01-01"):
+    ledger = IanaLedger()
+    regs = {}
+    for name, cc in (("arin", "US"), ("afrinic", "ZA")):
+        reg = Registry(name, default_policy(name), ledger)
+        start = from_iso("2005-03-01") if name == "afrinic" else from_iso("2004-01-05")
+        for i in range(5):
+            reg.allocate(start + i * 30, f"ORG-{name}-{i}", cc,
+                         thirty_two_bit=False)
+        regs[name] = reg
+    return regs, from_iso(end)
+
+
+class TestArchiveAccounting:
+    def test_day_count_spans_both_kinds(self):
+        regs, end = make_world()
+        archive = DelegationArchive(regs, end)
+        # ARIN: regular 2003-11-20..2013-08-12, extended 2013-03-05..end
+        expected = end - from_iso("2003-11-20") + 1
+        assert archive.day_count("arin") == expected
+
+    def test_day_count_drops_fully_missing_days(self):
+        regs, end = make_world()
+        overlay = ArchiveOverlay()
+        probe = from_iso("2006-06-06")
+        overlay.mark_missing(("arin", REGULAR), probe)
+        archive = DelegationArchive(regs, end, overlay)
+        clean = DelegationArchive(regs, end)
+        # the day only has the regular feed in 2006: coverage drops
+        assert archive.day_count("arin") == clean.day_count("arin") - 1
+
+    def test_day_count_survives_one_sided_missing(self):
+        regs, end = make_world()
+        overlay = ArchiveOverlay()
+        probe = from_iso("2013-06-06")  # both feeds exist for ARIN here
+        overlay.mark_missing(("arin", REGULAR), probe)
+        archive = DelegationArchive(regs, end, overlay)
+        clean = DelegationArchive(regs, end)
+        assert archive.day_count("arin") == clean.day_count("arin")
+
+    def test_iter_days_matches_window(self):
+        regs, end = make_world()
+        archive = DelegationArchive(regs, end)
+        days = list(archive.iter_days(("afrinic", REGULAR)))
+        assert days[0] == from_iso("2005-02-18")
+        assert days[-1] == end
+
+    def test_file_state_outside_window_rejected(self):
+        regs, end = make_world()
+        archive = DelegationArchive(regs, end)
+        with pytest.raises(ValueError):
+            archive.file_state(("afrinic", REGULAR), from_iso("2004-01-01"))
+
+
+class TestRegistryViews:
+    def test_arin_era_boundary(self):
+        regs, end = make_world()
+        archive = DelegationArchive(regs, end)
+        view = build_registry_view(archive, "arin")
+        boundary = view.extended_start
+        assert boundary == from_iso("2013-03-05")
+        # stints on either side of the boundary join seamlessly for a
+        # continuously allocated ASN
+        asn = next(iter(view.stints))
+        stints = sorted(view.stints[asn], key=lambda s: s.start)
+        delegated = [s for s in stints if s.record.is_delegated]
+        for a, b in zip(delegated, delegated[1:]):
+            assert b.start == a.end + 1
+
+    def test_regular_metadata_populated(self):
+        regs, end = make_world()
+        overlay = ArchiveOverlay()
+        overlay.mark_missing(("arin", REGULAR), from_iso("2010-04-04"))
+        archive = DelegationArchive(regs, end, overlay)
+        view = build_registry_view(archive, "arin")
+        assert from_iso("2010-04-04") in view.regular_unavailable_days
+        assert view.regular_first_day == from_iso("2003-11-20")
+        assert view.regular_last_day == from_iso("2013-08-12")
+
+    def test_afrinic_single_feed_before_extended(self):
+        regs, _ = make_world()
+        archive = DelegationArchive(regs, from_iso("2010-01-01"))
+        view = build_registry_view(archive, "afrinic")
+        # AfriNIC extended starts 2012: outside this window
+        assert view.extended_start is None
+        assert view.stints  # the regular era alone carries the data
+
+    def test_unknown_registry_rejected(self):
+        regs, end = make_world()
+        archive = DelegationArchive(regs, end)
+        with pytest.raises(ValueError, match="publishes no delegation files"):
+            build_registry_view(archive, "lacnic")

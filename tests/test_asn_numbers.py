@@ -1,0 +1,113 @@
+"""Unit tests for repro.asn.numbers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asn import (
+    AS16_MAX,
+    AS32_MAX,
+    digit_count,
+    from_asdot,
+    is_16bit,
+    is_32bit_only,
+    looks_like_prepend_typo,
+    one_digit_apart,
+    to_asdot,
+    validate_asn,
+)
+
+
+class TestValidation:
+    def test_accepts_bounds(self):
+        assert validate_asn(0) == 0
+        assert validate_asn(AS32_MAX) == AS32_MAX
+
+    @pytest.mark.parametrize("bad", [-1, AS32_MAX + 1])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            validate_asn(bad)
+
+    @pytest.mark.parametrize("bad", ["3356", 3.14, True])
+    def test_rejects_non_int(self, bad):
+        with pytest.raises(ValueError):
+            validate_asn(bad)
+
+
+class TestBitClasses:
+    def test_boundary(self):
+        assert is_16bit(AS16_MAX)
+        assert not is_16bit(AS16_MAX + 1)
+        assert is_32bit_only(AS16_MAX + 1)
+        assert not is_32bit_only(AS16_MAX)
+
+    @given(st.integers(min_value=0, max_value=AS32_MAX))
+    def test_partition_complete(self, asn):
+        assert is_16bit(asn) != is_32bit_only(asn)
+
+
+class TestAsdot:
+    def test_16bit_renders_plain(self):
+        assert to_asdot(3356) == "3356"
+
+    def test_32bit_renders_dotted(self):
+        assert to_asdot(196622) == "3.14"
+
+    def test_parse_plain(self):
+        assert from_asdot("3356") == 3356
+
+    def test_parse_dotted(self):
+        assert from_asdot("3.14") == 196622
+
+    def test_parse_rejects_bad_dotted(self):
+        with pytest.raises(ValueError):
+            from_asdot("70000.1")
+
+    @given(st.integers(min_value=0, max_value=AS32_MAX))
+    def test_roundtrip(self, asn):
+        assert from_asdot(to_asdot(asn)) == asn
+
+
+class TestDigitHeuristics:
+    def test_digit_count(self):
+        assert digit_count(7) == 1
+        assert digit_count(290012147) == 9
+
+    def test_prepend_typo_exact_repetition(self):
+        # the paper's example: AS3202632026 repeats AS32026 twice
+        assert looks_like_prepend_typo(3202632026, 32026)
+
+    def test_prepend_typo_triple_repetition(self):
+        assert looks_like_prepend_typo(121212, 12)
+
+    def test_prepend_typo_rejects_unrelated(self):
+        assert not looks_like_prepend_typo(41933, 3356)
+
+    def test_prepend_typo_rejects_same(self):
+        assert not looks_like_prepend_typo(32026, 32026)
+
+    def test_prepend_typo_rejects_shorter_origin(self):
+        assert not looks_like_prepend_typo(32, 32026)
+
+    def test_one_digit_substitution(self):
+        assert one_digit_apart(41933, 41930)
+
+    def test_one_digit_insertion(self):
+        # the paper's example: AS419333 vs AS41933
+        assert one_digit_apart(419333, 41933)
+        assert one_digit_apart(41933, 419333)
+
+    def test_one_digit_moas_example_2(self):
+        # AS363690 vs AS393690 (§6.4)
+        assert one_digit_apart(363690, 393690)
+
+    def test_one_digit_rejects_equal(self):
+        assert not one_digit_apart(41933, 41933)
+
+    def test_one_digit_rejects_two_edits(self):
+        assert not one_digit_apart(41933, 42934)
+        assert not one_digit_apart(12, 1234)
+
+    @given(st.integers(min_value=0, max_value=AS32_MAX), st.integers(min_value=0, max_value=AS32_MAX))
+    def test_one_digit_symmetric(self, a, b):
+        assert one_digit_apart(a, b) == one_digit_apart(b, a)

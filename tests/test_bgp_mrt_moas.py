@@ -1,0 +1,178 @@
+"""Tests for the MRT-style codec and MOAS/SubMOAS detection."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp import (
+    ANNOUNCE,
+    RIB,
+    WITHDRAW,
+    BgpElement,
+    MoasDetector,
+    MrtError,
+    dump_day,
+    find_moas,
+    find_submoas,
+    load_day,
+    read_elements,
+    write_elements,
+)
+from repro.net import Prefix
+from repro.timeline import from_iso
+
+D = from_iso("2015-06-01")
+P1 = Prefix.parse("10.0.0.0/16")
+P2 = Prefix.parse("10.1.0.0/16")
+SUB = Prefix.parse("10.0.4.0/24")
+V6 = Prefix.parse("2001:db8::/32")
+
+
+def elem(etype=RIB, peer=10, prefix=P1, path=(10, 20, 30), seq=0):
+    return BgpElement(etype, D, seq, "ris", "rrc00", peer, prefix,
+                      path if etype != WITHDRAW else ())
+
+
+class TestMrtRoundtrip:
+    def test_rib_v4(self):
+        buf = io.BytesIO()
+        assert write_elements([elem()], buf) == 1
+        buf.seek(0)
+        back = list(read_elements(buf, project="ris", collector="rrc00"))
+        assert back == [elem()]
+
+    def test_rib_v6(self):
+        e = elem(prefix=V6)
+        buf = io.BytesIO()
+        write_elements([e], buf)
+        buf.seek(0)
+        assert list(read_elements(buf, project="ris", collector="rrc00")) == [e]
+
+    def test_announce_and_withdraw(self):
+        elems = [elem(ANNOUNCE, seq=1), elem(WITHDRAW, seq=2)]
+        buf = io.BytesIO()
+        write_elements(elems, buf)
+        buf.seek(0)
+        assert list(read_elements(buf, project="ris", collector="rrc00")) == elems
+
+    def test_file_roundtrip(self, tmp_path):
+        elems = [elem(seq=i) for i in range(10)]
+        path = tmp_path / "rib.mrt"
+        assert dump_day(elems, path) == 10
+        assert load_day(path, project="ris", collector="rrc00") == elems
+
+    def test_truncated_header_rejected(self):
+        buf = io.BytesIO()
+        write_elements([elem()], buf)
+        data = buf.getvalue()[:-5]
+        with pytest.raises(MrtError):
+            list(read_elements(io.BytesIO(data[:6]), project="ris", collector="r"))
+
+    def test_truncated_payload_rejected(self):
+        buf = io.BytesIO()
+        write_elements([elem()], buf)
+        data = buf.getvalue()[:-3]
+        with pytest.raises(MrtError):
+            list(read_elements(io.BytesIO(data), project="ris", collector="r"))
+
+    def test_unknown_type_rejected(self):
+        buf = io.BytesIO()
+        write_elements([elem()], buf)
+        data = bytearray(buf.getvalue())
+        data[5] = 99  # type field low byte
+        with pytest.raises(MrtError):
+            list(read_elements(io.BytesIO(bytes(data)), project="r", collector="c"))
+
+    def test_old_days_out_of_range(self):
+        ancient = BgpElement(RIB, 100, 0, "ris", "rrc00", 10, P1, (10,))
+        with pytest.raises(MrtError, match="32-bit"):
+            write_elements([ancient], io.BytesIO())
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([RIB, ANNOUNCE, WITHDRAW]),
+                st.integers(min_value=1, max_value=2**32 - 1),
+                st.integers(min_value=0, max_value=255),
+                st.lists(st.integers(min_value=1, max_value=2**32 - 1),
+                         min_size=1, max_size=6),
+            ),
+            max_size=15,
+        )
+    )
+    def test_roundtrip_property(self, specs):
+        elems = [
+            BgpElement(
+                etype, D, seq, "rv", "route-views2", peer,
+                Prefix.v4((seq % 200) << 24, 8),
+                tuple(path) if etype != WITHDRAW else (),
+            )
+            for etype, peer, seq, path in specs
+        ]
+        buf = io.BytesIO()
+        write_elements(elems, buf)
+        buf.seek(0)
+        back = list(read_elements(buf, project="rv", collector="route-views2"))
+        assert back == elems
+
+
+class TestMoas:
+    def test_same_prefix_two_origins(self):
+        elems = [
+            elem(path=(10, 20, 30)),
+            elem(peer=11, path=(11, 40)),
+        ]
+        conflicts = find_moas(elems)
+        assert len(conflicts) == 1
+        assert conflicts[0].origins == {30, 40}
+        assert conflicts[0].involves(30)
+
+    def test_single_origin_no_conflict(self):
+        assert find_moas([elem(), elem(peer=11)]) == []
+
+    def test_withdraws_ignored(self):
+        assert find_moas([elem(WITHDRAW)]) == []
+
+    def test_submoas(self):
+        elems = [
+            elem(path=(10, 20, 30), prefix=P1),
+            elem(path=(10, 99), prefix=SUB),
+        ]
+        conflicts = find_submoas(elems)
+        assert len(conflicts) == 1
+        c = conflicts[0]
+        assert c.covering_origin == 30
+        assert c.specific_origin == 99
+        assert c.covering_prefix == P1 and c.specific_prefix == SUB
+
+    def test_submoas_same_origin_not_conflict(self):
+        elems = [
+            elem(path=(10, 30), prefix=P1),
+            elem(path=(10, 30), prefix=SUB),
+        ]
+        assert find_submoas(elems) == []
+
+    def test_detector_new_and_resolved(self):
+        detector = MoasDetector()
+        day1 = [elem(path=(10, 30)), elem(peer=11, path=(11, 40))]
+        new, resolved = detector.feed(day1)
+        assert len(new) == 1 and resolved == []
+        # same conflict persists: nothing new
+        new, resolved = detector.feed(day1)
+        assert new == [] and resolved == []
+        # conflict disappears
+        new, resolved = detector.feed([elem(path=(10, 30))])
+        assert new == [] and len(resolved) == 1
+        assert detector.active == {}
+
+    def test_detector_origin_change_is_new(self):
+        detector = MoasDetector()
+        detector.feed([elem(path=(10, 30)), elem(peer=11, path=(11, 40))])
+        new, _ = detector.feed(
+            [elem(path=(10, 30)), elem(peer=11, path=(11, 41))]
+        )
+        assert len(new) == 1
+        assert new[0].origins == {30, 41}

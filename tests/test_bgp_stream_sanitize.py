@@ -1,0 +1,215 @@
+"""Tests for BGP messages, stream generation, sanitization, visibility."""
+
+import pytest
+
+from repro.bgp import (
+    ANNOUNCE,
+    RIB,
+    WITHDRAW,
+    Announcement,
+    AnomalyEvent,
+    AsTopology,
+    BgpElement,
+    Collector,
+    SQUAT_DORMANT,
+    SanitizeStats,
+    SyntheticBgpStream,
+    active_asns,
+    path_has_loop,
+    peer_visibility,
+    sanitize,
+)
+from repro.net import Prefix
+from repro.timeline import Interval
+
+P1 = Prefix.parse("10.0.0.0/16")
+P2 = Prefix.parse("10.1.0.0/16")
+BAD_LEN = Prefix.parse("10.2.0.0/25")
+
+
+@pytest.fixture
+def small_world():
+    topo = AsTopology()
+    topo.add_p2p(10, 20)
+    topo.add_p2c(10, 100)
+    topo.add_p2c(20, 200)
+    topo.add_p2c(100, 1001)
+    topo.add_p2c(200, 2001)
+    collectors = [
+        Collector("route-views", "routeviews", (10, 100)),
+        Collector("rrc00", "ris", (20, 200)),
+    ]
+    return topo, collectors
+
+
+def elem(peer=10, path=(10, 100, 1001), prefix=P1, etype=RIB, day=100):
+    return BgpElement(
+        elem_type=etype, day=day, sequence=0, project="ris",
+        collector="rrc00", peer_asn=peer, prefix=prefix, as_path=path,
+    )
+
+
+class TestMessages:
+    def test_origin(self):
+        assert elem().origin == 1001
+
+    def test_withdraw_has_no_origin(self):
+        w = BgpElement(WITHDRAW, 100, 0, "ris", "rrc00", 10, P1)
+        assert w.origin is None
+
+    def test_rib_requires_path(self):
+        with pytest.raises(ValueError):
+            BgpElement(RIB, 100, 0, "ris", "rrc00", 10, P1, ())
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            BgpElement("X", 100, 0, "ris", "rrc00", 10, P1, (10,))
+
+    def test_path_asns_dedup_in_order(self):
+        e = elem(path=(10, 100, 100, 1001))
+        assert e.path_asns() == (10, 100, 1001)
+
+    def test_loop_detection(self):
+        assert not path_has_loop((10, 100, 1001))
+        assert not path_has_loop((10, 100, 1001, 1001, 1001))  # prepend
+        assert path_has_loop((10, 100, 10, 1001))  # true loop
+
+
+class TestSanitize:
+    def test_drops_bad_prefix_lengths(self):
+        stats = SanitizeStats()
+        kept = list(sanitize([elem(), elem(prefix=BAD_LEN)], stats))
+        assert len(kept) == 1
+        assert stats.kept == 1
+        assert stats.dropped["prefix_length"] == 1
+
+    def test_drops_loops(self):
+        stats = SanitizeStats()
+        kept = list(sanitize([elem(path=(10, 100, 10, 1001))], stats))
+        assert kept == []
+        assert stats.dropped["as_path_loop"] == 1
+
+    def test_keeps_prepends(self):
+        kept = list(sanitize([elem(path=(10, 100, 1001, 1001))]))
+        assert len(kept) == 1
+
+    def test_withdraw_passes_without_path(self):
+        w = BgpElement(WITHDRAW, 100, 0, "ris", "rrc00", 10, P1)
+        assert list(sanitize([w])) == [w]
+
+    def test_stats_totals(self):
+        stats = SanitizeStats()
+        list(sanitize([elem(), elem(prefix=BAD_LEN)], stats))
+        assert stats.total_seen == 2
+        assert stats.total_dropped == 1
+
+
+class TestVisibility:
+    def test_counts_distinct_peers_per_path_asn(self):
+        elems = [elem(peer=10), elem(peer=20)]
+        vis = peer_visibility(elems)
+        assert vis[1001] == {10, 20}
+        assert vis[100] == {10, 20}
+
+    def test_active_requires_two_peers(self):
+        elems = [elem(peer=10)]
+        assert active_asns(elems) == set()
+        assert active_asns(elems, min_peers=1) == {10, 100, 1001}
+
+    def test_withdraws_do_not_count(self):
+        w = BgpElement(WITHDRAW, 100, 0, "ris", "rrc00", 10, P1)
+        assert peer_visibility([w]) == {}
+
+    def test_rejects_zero_threshold(self):
+        with pytest.raises(ValueError):
+            active_asns([], min_peers=0)
+
+
+class TestStream:
+    def day_source_factory(self, per_day):
+        return lambda day: per_day.get(day, [])
+
+    def test_rib_elements_at_every_peer_with_route(self, small_world):
+        topo, collectors = small_world
+        source = self.day_source_factory({5: [Announcement(1001, P1)]})
+        stream = SyntheticBgpStream(topo, collectors, source)
+        elems = list(stream.elements_for_day(5))
+        peers = {e.peer_asn for e in elems}
+        assert peers == {10, 100, 20, 200}
+        assert all(e.elem_type == RIB for e in elems)
+        assert all(e.as_path[-1] == 1001 for e in elems)
+
+    def test_updates_on_day_change(self, small_world):
+        topo, collectors = small_world
+        per_day = {
+            5: [Announcement(1001, P1)],
+            6: [Announcement(1001, P1), Announcement(2001, P2)],
+            7: [Announcement(2001, P2)],
+        }
+        stream = SyntheticBgpStream(topo, collectors, self.day_source_factory(per_day))
+        elems = list(stream.elements(5, 7))
+        announces = [e for e in elems if e.elem_type == ANNOUNCE]
+        withdraws = [e for e in elems if e.elem_type == WITHDRAW]
+        assert {e.origin for e in announces} == {2001}  # new on day 6
+        assert {e.prefix for e in withdraws} == {P1}  # gone on day 7
+
+    def test_forged_origin_appends(self, small_world):
+        topo, collectors = small_world
+        ann = Announcement(1001, P1, forged_origin=65001)
+        stream = SyntheticBgpStream(topo, collectors, lambda d: [ann])
+        elems = list(stream.elements_for_day(5))
+        assert all(e.as_path[-1] == 65001 for e in elems)
+        assert all(e.as_path[-2] == 1001 for e in elems)
+
+    def test_only_peer_restricts_visibility(self, small_world):
+        topo, collectors = small_world
+        ann = Announcement(1001, P1, only_peer=10)
+        stream = SyntheticBgpStream(topo, collectors, lambda d: [ann])
+        elems = list(stream.elements_for_day(5))
+        assert {e.peer_asn for e in elems} == {10}
+        # and the 2-peer rule correctly rejects the ASN
+        assert 1001 not in active_asns(elems)
+
+    def test_corrupt_loop_gets_sanitized(self, small_world):
+        topo, collectors = small_world
+        ann = Announcement(1001, P1, corrupt_loop=True)
+        stream = SyntheticBgpStream(topo, collectors, lambda d: [ann])
+        elems = list(stream.elements_for_day(5))
+        assert all(e.has_loop for e in elems)
+        assert list(sanitize(elems)) == []
+
+    def test_prepend(self, small_world):
+        topo, collectors = small_world
+        ann = Announcement(1001, P1, prepend=2)
+        stream = SyntheticBgpStream(topo, collectors, lambda d: [ann])
+        e = next(iter(stream.elements_for_day(5)))
+        assert e.as_path[-3:] == (1001, 1001, 1001)
+
+
+class TestAnomalyEvents:
+    def test_announcements_only_inside_interval(self):
+        event = AnomalyEvent(
+            kind=SQUAT_DORMANT,
+            interval=Interval(100, 110),
+            origin=65001,
+            announcer=203040,
+            prefixes=(P1, P2),
+        )
+        assert event.is_forged and event.is_malicious
+        assert len(event.announcements(105)) == 2
+        assert event.announcements(99) == []
+        ann = event.announcements(100)[0]
+        assert ann.forged_origin == 65001
+        assert ann.announcer == 203040
+
+    def test_non_forged_event(self):
+        event = AnomalyEvent(
+            kind="dangling", interval=Interval(1, 2), origin=7, announcer=7,
+            prefixes=(P1,),
+        )
+        assert not event.is_forged
+        assert event.announcements(1)[0].forged_origin is None
+
+    def test_requires_prefixes(self):
+        with pytest.raises(ValueError):
+            AnomalyEvent("dangling", Interval(1, 2), 7, 7, ())

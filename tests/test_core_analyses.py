@@ -1,0 +1,248 @@
+"""Tests for utilization, squatting, partial, unused, outside analyses."""
+
+import pytest
+
+from repro.bgp import AnomalyEvent, AsTopology, SQUAT_DORMANT
+from repro.core import (
+    JointAnalysis,
+    analyze_outside_delegation,
+    analyze_partial_overlaps,
+    analyze_unused_lives,
+    analyze_utilization,
+    detect_dormant_squatting,
+    score_against_truth,
+    utilization_of,
+)
+from repro.lifetimes import AdminLifetime, BgpLifetime
+from repro.net import Prefix
+from repro.timeline import Interval, from_iso
+
+D = from_iso("2005-01-01")
+END = from_iso("2021-03-01")
+
+
+def admin(asn, start, end, registry="ripencc", cc="IT", org=None, open_ended=False):
+    return AdminLifetime(
+        asn, D + start, D + end, D + start, (registry,), cc=cc, org_id=org,
+        open_ended=open_ended,
+    )
+
+
+def op(asn, start, end, open_ended=False):
+    return BgpLifetime(asn, D + start, D + end, open_ended=open_ended)
+
+
+class TestUtilization:
+    def test_full_usage(self):
+        a = admin(1, 0, 99)
+        ratio, contained = utilization_of(a, [op(1, 0, 99)])
+        assert ratio == 1.0 and len(contained) == 1
+
+    def test_partial_usage(self):
+        a = admin(1, 0, 99)
+        ratio, _ = utilization_of(a, [op(1, 0, 24)])
+        assert ratio == pytest.approx(0.25)
+
+    def test_non_contained_excluded(self):
+        a = admin(1, 0, 99)
+        ratio, contained = utilization_of(a, [op(1, 50, 150)])
+        assert ratio == 0.0 and contained == []
+
+    def test_analyze_collects_delays(self):
+        admin_lives = {1: [admin(1, 0, 1000)]}
+        op_lives = {1: [op(1, 40, 800)]}
+        stats = analyze_utilization(admin_lives, op_lives)
+        assert stats.late_start_by_registry["ripencc"] == [40]
+        assert stats.late_dealloc_by_registry["ripencc"] == [200]
+        assert stats.median_late_dealloc()["ripencc"] == 200
+
+    def test_open_ended_excluded_from_dealloc_delay(self):
+        admin_lives = {1: [admin(1, 0, 1000, open_ended=True)]}
+        op_lives = {1: [op(1, 40, 800)]}
+        stats = analyze_utilization(admin_lives, op_lives)
+        assert "ripencc" not in stats.late_dealloc_by_registry
+
+    def test_sporadic_and_spacing(self):
+        ops = [op(1, i * 100, i * 100 + 5) for i in range(12)]
+        admin_lives = {1: [admin(1, 0, 2000)]}
+        stats = analyze_utilization(admin_lives, {1: ops})
+        assert 1 in stats.sporadic_asns
+        assert stats.multi_op_admin_lives == 1
+        assert stats.op_count_shares()[">2"] == 1.0
+
+    def test_widely_spaced(self):
+        admin_lives = {1: [admin(1, 0, 2000)]}
+        op_lives = {1: [op(1, 0, 10), op(1, 1500, 1510)]}
+        stats = analyze_utilization(admin_lives, op_lives)
+        assert stats.widely_spaced_admin_lives == 1
+
+    def test_partial_population_excluded(self):
+        admin_lives = {1: [admin(1, 0, 100)]}
+        op_lives = {1: [op(1, 10, 20), op(1, 90, 200)]}
+        stats = analyze_utilization(admin_lives, op_lives)
+        assert stats.utilizations == []  # partial-overlap life not in Fig. 7
+
+
+class TestSquatting:
+    def test_dormant_awakening_flagged(self):
+        admin_lives = {1: [admin(1, 0, 6000)]}
+        op_lives = {1: [op(1, 4000, 4020)]}  # 4000 days dormant, tiny life
+        candidates = detect_dormant_squatting(admin_lives, op_lives)
+        assert len(candidates) == 1
+        c = candidates[0]
+        assert c.dormancy_days == 4000
+        assert c.relative_duration < 0.05
+
+    def test_prompt_start_not_flagged(self):
+        admin_lives = {1: [admin(1, 0, 6000)]}
+        op_lives = {1: [op(1, 10, 30)]}
+        assert detect_dormant_squatting(admin_lives, op_lives) == []
+
+    def test_long_awakening_not_flagged(self):
+        admin_lives = {1: [admin(1, 0, 6000)]}
+        op_lives = {1: [op(1, 2000, 6000)]}  # dormant but then runs forever
+        assert detect_dormant_squatting(admin_lives, op_lives) == []
+
+    def test_dormancy_between_op_lives(self):
+        admin_lives = {1: [admin(1, 0, 6000)]}
+        op_lives = {1: [op(1, 0, 100), op(1, 4000, 4020)]}
+        candidates = detect_dormant_squatting(admin_lives, op_lives)
+        assert len(candidates) == 1
+        assert candidates[0].dormancy_days == 4000 - 101
+
+    def test_scoring(self):
+        admin_lives = {1: [admin(1, 0, 6000)]}
+        op_lives = {1: [op(1, 4000, 4020)]}
+        candidates = detect_dormant_squatting(admin_lives, op_lives)
+        truth = [
+            AnomalyEvent(
+                kind=SQUAT_DORMANT,
+                interval=Interval(D + 4000, D + 4020),
+                origin=1,
+                announcer=203040,
+                prefixes=(Prefix.parse("10.0.0.0/16"),),
+            )
+        ]
+        score = score_against_truth(candidates, truth)
+        assert score["recall"] == 1.0
+        assert score["precision"] == 1.0
+
+
+class TestPartialOverlap:
+    def test_dangling_classified(self):
+        admin_lives = {1: [admin(1, 0, 100)]}
+        op_lives = {1: [op(1, 50, 160)]}
+        stats = analyze_partial_overlaps(admin_lives, op_lives)
+        assert stats.partial_admin_lives == 1
+        assert stats.dangling_lives == 1
+        assert stats.dangling_tail_days == [60]
+        assert stats.dangling_share == 1.0
+
+    def test_early_start_classified(self):
+        admin_lives = {1: [admin(1, 50, 200)]}
+        op_lives = {1: [op(1, 40, 100)]}
+        stats = analyze_partial_overlaps(admin_lives, op_lives)
+        assert stats.early_start_lives == 1
+        assert stats.early_start_days == [10]
+        assert stats.before_reg_date_asns == [1]
+
+    def test_customer_cones_of_dangling(self):
+        topo = AsTopology()
+        topo.add_p2c(10, 1)  # ASN 1 is a stub
+        admin_lives = {1: [admin(1, 0, 100)]}
+        op_lives = {1: [op(1, 50, 160)]}
+        stats = analyze_partial_overlaps(admin_lives, op_lives, topology=topo)
+        assert stats.dangling_cone_sizes == {1: 1}
+        assert stats.stub_share_of_dangling() == 1.0
+
+    def test_complete_overlap_not_counted(self):
+        admin_lives = {1: [admin(1, 0, 100)]}
+        op_lives = {1: [op(1, 10, 20)]}
+        stats = analyze_partial_overlaps(admin_lives, op_lives)
+        assert stats.partial_admin_lives == 0
+
+
+class TestUnused:
+    def test_basic_counting(self):
+        admin_lives = {
+            1: [admin(1, 0, 1000, cc="CN")],
+            2: [admin(2, 0, 1000, cc="US")],
+        }
+        op_lives = {2: [op(2, 10, 500)]}
+        stats = analyze_unused_lives(admin_lives, op_lives)
+        assert stats.unused_lives == 1
+        assert stats.unused_share == 0.5
+        assert 1 in stats.never_seen_asns
+        assert stats.country_unused_fraction("CN") == 1.0
+        assert stats.country_unused_fraction("US") == 0.0
+
+    def test_short_unused_32bit_share(self):
+        admin_lives = {
+            70000: [admin(70000, 0, 10)],  # 32-bit, short, unused
+            100: [admin(100, 0, 10)],  # 16-bit, short, unused
+        }
+        stats = analyze_unused_lives(admin_lives, {})
+        assert stats.short_unused_32bit_share("ripencc") == pytest.approx(0.5)
+
+    def test_sibling_analysis(self):
+        admin_lives = {
+            1: [admin(1, 0, 1000, org="ORG-A")],
+            2: [admin(2, 0, 1000, org="ORG-A")],
+            3: [admin(3, 0, 1000, org="ORG-B")],
+        }
+        op_lives = {2: [op(2, 0, 500)]}
+        siblings = {"ORG-A": [1, 2], "ORG-B": [3]}
+        stats = analyze_unused_lives(admin_lives, op_lives, siblings=siblings)
+        assert stats.unused_with_sibling_info == 2  # ASN 1 and ASN 3
+        assert stats.unused_with_active_sibling == 1  # only ORG-A
+        assert stats.sibling_share() == pytest.approx(0.5)
+
+
+class TestOutsideDelegation:
+    def test_never_allocated(self):
+        stats = analyze_outside_delegation({}, {9: [op(9, 0, 10)]})
+        assert stats.never_allocated_asns == {9}
+        assert stats.never_allocated_durations[9] == 11
+        assert stats.never_allocated_active_longer_than(1) == 1
+        assert stats.never_allocated_active_longer_than(30) == 0
+
+    def test_bogons_excluded(self):
+        stats = analyze_outside_delegation({}, {64512: [op(64512, 0, 10)]})
+        assert stats.excluded_bogons == 1
+        assert not stats.never_allocated_asns
+
+    def test_post_dealloc_squat_candidate(self):
+        # the AS12391 shape: dealloc at day 4000, activity 3 days later,
+        # previous op life ended ~3898 days before
+        admin_lives = {1: [admin(1, 0, 4000)]}
+        op_lives = {1: [op(1, 50, 100), op(1, 4003, 4010)]}
+        stats = analyze_outside_delegation(admin_lives, op_lives)
+        assert 1 in stats.once_allocated_asns
+        assert len(stats.post_dealloc_candidates) == 1
+        c = stats.post_dealloc_candidates[0]
+        assert c.days_after_dealloc == 3
+        assert c.days_since_last_op == 4003 - 100
+
+    def test_recently_active_not_candidate(self):
+        admin_lives = {1: [admin(1, 0, 4000)]}
+        op_lives = {1: [op(1, 3900, 3990), op(1, 4003, 4010)]}
+        stats = analyze_outside_delegation(admin_lives, op_lives)
+        assert stats.post_dealloc_candidates == []
+
+
+class TestJointFacade:
+    def test_summary(self):
+        admin_lives = {1: [admin(1, 0, 1000)], 2: [admin(2, 0, 1000)]}
+        op_lives = {1: [op(1, 10, 900)]}
+        joint = JointAnalysis(admin_lives, op_lives, end_day=END)
+        summary = joint.summary()
+        assert summary["admin_lifetimes"] == 2
+        assert summary["unused_share"] == pytest.approx(0.5)
+        assert summary["complete_overlap_share"] == pytest.approx(0.5)
+
+    def test_cached_properties_consistent(self):
+        admin_lives = {1: [admin(1, 0, 1000)]}
+        op_lives = {1: [op(1, 10, 900)]}
+        joint = JointAnalysis(admin_lives, op_lives, end_day=END)
+        assert joint.taxonomy is joint.taxonomy
+        assert joint.squatting_score()["candidates"] == 0.0

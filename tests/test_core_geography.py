@@ -1,0 +1,94 @@
+"""Tests for the Appendix-A country-expansion analysis."""
+
+import pytest
+
+from repro.core import (
+    alive_counts_by_country,
+    country_growth,
+    fastest_growing_countries,
+)
+from repro.lifetimes import AdminLifetime
+from repro.timeline import from_iso
+
+D = from_iso("2010-01-01")
+END = from_iso("2020-01-01")
+
+
+def admin(asn, start, end, cc, registry="apnic"):
+    return AdminLifetime(asn, D + start, D + end, D + start, (registry,), cc=cc)
+
+
+@pytest.fixture
+def lives():
+    return {
+        1: [admin(1, 0, 3650, "AU")],
+        2: [admin(2, 0, 3650, "AU")],
+        3: [admin(3, 1800, 3650, "IN")],          # India arrives late
+        4: [admin(4, 2000, 3650, "IN")],
+        5: [admin(5, 2200, 3650, "IN")],
+        6: [admin(6, 0, 3650, "US", registry="arin")],
+        7: [admin(7, 0, 100, "JP")],               # short life, dies early
+    }
+
+
+class TestCountrySeries:
+    def test_per_country_counts(self, lives):
+        series = alive_counts_by_country(lives, D, D + 3650)
+        assert series["AU"].at(D) == 2
+        assert series["IN"].at(D) == 0
+        assert series["IN"].at(D + 2500) == 3
+        assert series["JP"].at(D + 200) == 0
+
+    def test_registry_filter(self, lives):
+        series = alive_counts_by_country(lives, D, D + 3650, registry="apnic")
+        assert "US" not in series
+        assert "AU" in series
+
+    def test_min_lives_filter(self, lives):
+        series = alive_counts_by_country(lives, D, D + 3650, min_lives=2)
+        assert "JP" not in series
+        assert "IN" in series
+
+    def test_empty_cc_skipped(self):
+        lives = {1: [admin(1, 0, 10, "")]}
+        assert alive_counts_by_country(lives, D, D + 20) == {}
+
+
+class TestGrowth:
+    def test_growth_factors(self, lives):
+        series = alive_counts_by_country(lives, D, D + 3650)
+        growth = country_growth(series, D + 100, D + 3000)
+        au_a, au_b, au_factor = growth["AU"]
+        assert (au_a, au_b) == (2, 2) and au_factor == 1.0
+        in_a, in_b, in_factor = growth["IN"]
+        assert in_a == 0 and in_b == 3 and in_factor == float("inf")
+
+    def test_fastest_growing(self, lives):
+        rows = fastest_growing_countries(
+            lives, D + 100, D + 3000, registry="apnic", min_final=1
+        )
+        assert rows[0][0] == "IN"  # the new entrant leads
+
+    def test_min_final_filter(self, lives):
+        rows = fastest_growing_countries(
+            lives, D + 100, D + 3000, min_final=10
+        )
+        assert rows == []
+
+
+class TestOnSimulatedWorld:
+    def test_india_rises_in_apnic(self):
+        from repro.simulation import build_datasets, tiny
+
+        bundle = build_datasets(tiny(seed=31))
+        start = bundle.world.config.start_day
+        end = bundle.world.end_day
+        rows = fastest_growing_countries(
+            bundle.admin_lives, start + 2500, end,
+            registry="apnic", top=8, min_final=3,
+        )
+        assert rows, "APNIC must have growing countries"
+        leaders = [cc for cc, *_ in rows]
+        # the Appendix-A story: India and Indonesia are among the
+        # fastest-growing APNIC countries in the 2010s
+        assert {"IN", "ID"} & set(leaders)

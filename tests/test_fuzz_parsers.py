@@ -1,0 +1,120 @@
+"""Fuzz tests: the parsers must fail *cleanly* on arbitrary input.
+
+A pipeline that ingests 17 years of third-party files cannot afford
+parser crashes: malformed input must raise the module's typed error
+(``DelegationFileError`` / ``MrtError``), never an arbitrary exception.
+"""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp import BgpElement, MrtError, RIB, read_elements, write_elements
+from repro.net import Prefix
+from repro.rir import DelegationFileError, parse_snapshot
+from repro.timeline import from_iso
+
+D = from_iso("2015-06-01")
+
+
+class TestDelegationParserFuzz:
+    @settings(max_examples=300)
+    @given(st.text(max_size=400))
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse_snapshot(text)
+        except DelegationFileError:
+            pass  # the only acceptable failure mode
+
+    @settings(max_examples=200)
+    @given(st.binary(max_size=300))
+    def test_arbitrary_latin1_never_crashes(self, blob):
+        try:
+            parse_snapshot(blob.decode("latin-1"))
+        except DelegationFileError:
+            pass
+
+    GOOD = (
+        "2.3|ripencc|1|2|20150601|20150601|+0000\n"
+        "ripencc|*|asn|*|2|summary\n"
+        "ripencc|IT|asn|100|1|20100501|allocated|ORG-1\n"
+        "ripencc||asn|200|1||available|\n"
+    )
+
+    @settings(max_examples=200)
+    @given(
+        st.integers(min_value=0, max_value=len(GOOD) - 1),
+        st.characters(blacklist_categories=("Cs",)),
+    )
+    def test_single_character_mutations(self, position, replacement):
+        mutated = self.GOOD[:position] + replacement + self.GOOD[position + 1 :]
+        try:
+            snapshot = parse_snapshot(mutated)
+        except DelegationFileError:
+            return
+        # if it still parses, the result must be structurally sound
+        assert snapshot.registry
+        for record in snapshot.records:
+            assert record.asn >= 0
+
+    @settings(max_examples=100)
+    @given(st.integers(min_value=1, max_value=len(GOOD) - 1))
+    def test_truncations(self, cut):
+        try:
+            parse_snapshot(self.GOOD[:-cut])
+        except DelegationFileError:
+            pass
+
+
+class TestMrtFuzz:
+    def _valid_bytes(self):
+        buf = io.BytesIO()
+        elems = [
+            BgpElement(RIB, D, i, "ris", "rrc00", 10,
+                       Prefix.parse("10.0.0.0/16"), (10, 20, 30))
+            for i in range(3)
+        ]
+        write_elements(elems, buf)
+        return buf.getvalue()
+
+    @settings(max_examples=200)
+    @given(st.binary(max_size=200))
+    def test_arbitrary_bytes_never_crash(self, blob):
+        try:
+            list(read_elements(io.BytesIO(blob), project="x", collector="y"))
+        except MrtError:
+            pass
+        except ValueError:
+            pass  # Prefix validation errors are ValueErrors too
+
+    @settings(max_examples=200)
+    @given(st.data())
+    def test_bit_flips_never_crash(self, data):
+        raw = bytearray(self._valid_bytes())
+        position = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+        raw[position] ^= data.draw(st.integers(min_value=1, max_value=255))
+        try:
+            decoded = list(
+                read_elements(io.BytesIO(bytes(raw)), project="x", collector="y")
+            )
+        except (MrtError, ValueError):
+            return
+        for element in decoded:
+            assert element.peer_asn >= 0
+
+    @settings(max_examples=100)
+    @given(st.integers(min_value=1, max_value=40))
+    def test_truncations_fail_cleanly_or_shorten(self, cut):
+        raw = self._valid_bytes()
+        cut = min(cut, len(raw) - 1)
+        try:
+            decoded = list(
+                read_elements(io.BytesIO(raw[:-cut]), project="x", collector="y")
+            )
+        except MrtError:
+            return
+        # a cut landing exactly on a record boundary yields a valid,
+        # shorter stream — never a full-length one
+        assert len(decoded) < 3

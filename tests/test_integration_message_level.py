@@ -1,0 +1,110 @@
+"""End-to-end message-level pipeline, cross-validated against the fast
+path.
+
+The paper's pipeline is: RIB/update dumps → BGPStream → sanitize →
+2-peer visibility → daily activity → 30-day-timeout lifetimes.  The
+fast path skips the message layer and uses the simulator's activity
+intervals directly.  Over a bounded window the two must agree.
+"""
+
+import pytest
+
+from repro.bgp import SyntheticBgpStream, active_asns, sanitize
+from repro.core import collect_path_evidence, classify_suspect, MisconfigClass
+from repro.lifetimes import activity_from_elements
+from repro.simulation import WorldSimulator, tiny
+from repro.timeline import from_iso
+
+
+@pytest.fixture(scope="module")
+def world():
+    return WorldSimulator(tiny(seed=3)).run()
+
+
+@pytest.fixture(scope="module")
+def window(world):
+    start = from_iso("2012-03-01")
+    end = from_iso("2012-04-15")
+    stream = SyntheticBgpStream(
+        world.topology, world.collectors, world.announcements_for_day
+    )
+    elements_by_day = {
+        day: list(sanitize(stream.elements_for_day(day)))
+        for day in range(start, end + 1)
+    }
+    return start, end, elements_by_day
+
+
+class TestMessageLevelEquivalence:
+    def test_origin_activity_matches_fast_path(self, world, window):
+        start, end, elements_by_day = window
+        message_level = activity_from_elements(elements_by_day)
+        mismatches = []
+        for asn, activity in world.activities.items():
+            expected = set(activity.observed.clamp(start, end).days())
+            got_activity = message_level.get(asn)
+            got = (
+                set(got_activity.observed.clamp(start, end).days())
+                if got_activity
+                else set()
+            )
+            # the message layer also sees ASNs as *transit* hops, so
+            # fast-path days must be a subset of message-level days
+            if not expected <= got:
+                mismatches.append((asn, sorted(expected - got)[:5]))
+        assert not mismatches, mismatches[:5]
+
+    def test_transit_asns_observed_beyond_origins(self, world, window):
+        _start, _end, elements_by_day = window
+        day, elements = next(iter(elements_by_day.items()))
+        active = active_asns(elements)
+        origins = {e.origin for e in elements if e.origin is not None}
+        assert active - origins  # transit hops count too (§3.2)
+
+    def test_single_peer_asns_rejected(self, world, window):
+        start, end, elements_by_day = window
+        spurious_asns = {
+            asn
+            for asn, activity in world.activities.items()
+            if activity.single_peer.clamp(start, end)
+            and not activity.observed.clamp(start, end)
+        }
+        if not spurious_asns:
+            pytest.skip("window has no spurious-only ASNs")
+        for day, elements in elements_by_day.items():
+            active = active_asns(elements)
+            for asn in spurious_asns:
+                assert asn not in active
+
+    def test_forged_origins_visible(self, world, window):
+        start, end, elements_by_day = window
+        active_events = [
+            e for e in world.events
+            if e.interval.start <= end and start <= e.interval.end
+        ]
+        if not active_events:
+            pytest.skip("window has no anomaly events")
+        event = active_events[0]
+        day = max(event.interval.start, start)
+        origins = {
+            el.origin for el in elements_by_day[day] if el.origin is not None
+        }
+        assert event.origin in origins
+
+    def test_misconfig_evidence_extraction(self, world):
+        """Drive the §6.4 classifier end-to-end over event windows."""
+        from repro.bgp import FAT_FINGER_PREPEND
+
+        events = [e for e in world.events if e.kind == FAT_FINGER_PREPEND]
+        if not events:
+            pytest.skip("no prepend events in this world")
+        event = events[0]
+        stream = SyntheticBgpStream(
+            world.topology, world.collectors, world.announcements_for_day
+        )
+        day = event.interval.start
+        elements = list(sanitize(stream.elements_for_day(day)))
+        evidence = collect_path_evidence(elements, {event.origin})
+        assert classify_suspect(evidence[event.origin]) == (
+            MisconfigClass.PREPEND_TYPO
+        )

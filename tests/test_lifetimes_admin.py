@@ -1,0 +1,173 @@
+"""Tests for §4.1 administrative lifetime inference."""
+
+import pytest
+
+from repro.rir import DelegationRecord, Status
+from repro.rir.archive import Stint
+from repro.lifetimes import admin_lifetimes_for_stints
+from repro.timeline import from_iso
+
+D = from_iso("2010-01-01")
+END = from_iso("2020-01-01")
+
+
+def rec(registry="ripencc", cc="IT", asn=100, date=D, status=Status.ALLOCATED,
+        opaque="ORG-1"):
+    return DelegationRecord(
+        registry=registry, cc=cc, asn=asn, reg_date=date, status=status,
+        opaque_id=opaque,
+    )
+
+
+def reserved(registry="ripencc", asn=100):
+    return DelegationRecord(registry, "", asn, None, Status.RESERVED)
+
+
+def available(registry="ripencc", asn=100):
+    return DelegationRecord(registry, "", asn, None, Status.AVAILABLE)
+
+
+class TestSingleLife:
+    def test_one_allocation(self):
+        stints = [Stint(D, D + 100, rec())]
+        lives = admin_lifetimes_for_stints(100, stints, END)
+        assert len(lives) == 1
+        life = lives[0]
+        assert (life.start, life.end) == (D, D + 100)
+        assert life.reg_date == D
+        assert life.registry == "ripencc"
+        assert not life.open_ended
+
+    def test_open_ended_at_window_end(self):
+        stints = [Stint(D, END, rec())]
+        lives = admin_lifetimes_for_stints(100, stints, END)
+        assert lives[0].open_ended
+
+    def test_date_correction_does_not_split(self):
+        # §4.1: date changes without deallocation = administrative
+        # correction to the same allocation
+        stints = [
+            Stint(D, D + 50, rec(date=D)),
+            Stint(D + 51, D + 100, rec(date=D - 200)),
+        ]
+        lives = admin_lifetimes_for_stints(100, stints, END)
+        assert len(lives) == 1
+        assert lives[0].reg_date == D  # first published date kept
+
+    def test_pool_only_history_yields_nothing(self):
+        stints = [Stint(D, D + 100, available())]
+        assert admin_lifetimes_for_stints(100, stints, END) == []
+
+
+class TestReservedAndReturn:
+    def test_same_date_return_merges(self):
+        stints = [
+            Stint(D, D + 100, rec(date=D)),
+            Stint(D + 101, D + 150, reserved()),
+            Stint(D + 151, D + 300, rec(date=D)),  # same date: same owner
+        ]
+        lives = admin_lifetimes_for_stints(100, stints, END)
+        assert len(lives) == 1
+        assert (lives[0].start, lives[0].end) == (D, D + 300)
+
+    def test_new_date_after_available_is_new_life(self):
+        stints = [
+            Stint(D, D + 100, rec(date=D, opaque="ORG-1")),
+            Stint(D + 101, D + 150, reserved()),
+            Stint(D + 151, D + 200, available()),
+            Stint(D + 201, D + 300, rec(date=D + 201, opaque="ORG-2")),
+        ]
+        lives = admin_lifetimes_for_stints(100, stints, END)
+        assert len(lives) == 2
+        assert lives[0].end == D + 100
+        assert lives[1].start == D + 201
+        assert lives[1].reg_date == D + 201
+
+    def test_afrinic_exception_merges_despite_new_date(self):
+        stints = [
+            Stint(D, D + 100, rec(registry="afrinic", cc="ZA", date=D)),
+            Stint(D + 101, D + 150, reserved(registry="afrinic")),
+            Stint(D + 151, D + 300, rec(registry="afrinic", cc="ZA", date=D + 151)),
+        ]
+        lives = admin_lifetimes_for_stints(100, stints, END)
+        assert len(lives) == 1  # reserved-only in between -> same life
+
+    def test_afrinic_after_available_is_new_life(self):
+        stints = [
+            Stint(D, D + 100, rec(registry="afrinic", cc="ZA", date=D)),
+            Stint(D + 101, D + 150, reserved(registry="afrinic")),
+            Stint(D + 151, D + 180, available(registry="afrinic")),
+            Stint(D + 181, D + 300, rec(registry="afrinic", cc="ZA", date=D + 181)),
+        ]
+        lives = admin_lifetimes_for_stints(100, stints, END)
+        assert len(lives) == 2
+
+    def test_non_afrinic_new_date_after_reserved_is_new_life(self):
+        stints = [
+            Stint(D, D + 100, rec(date=D)),
+            Stint(D + 101, D + 150, reserved()),
+            Stint(D + 151, D + 300, rec(date=D + 151)),
+        ]
+        lives = admin_lifetimes_for_stints(100, stints, END)
+        assert len(lives) == 2  # RIPE without same date: reallocated
+
+    def test_disappearance_same_date_merges(self):
+        # regular-files era: the ASN just vanishes, then returns with
+        # the same registration date
+        stints = [
+            Stint(D, D + 100, rec(date=D)),
+            Stint(D + 120, D + 300, rec(date=D)),
+        ]
+        lives = admin_lifetimes_for_stints(100, stints, END)
+        assert len(lives) == 1
+
+    def test_disappearance_new_date_new_life(self):
+        stints = [
+            Stint(D, D + 100, rec(date=D)),
+            Stint(D + 120, D + 300, rec(date=D + 120)),
+        ]
+        lives = admin_lifetimes_for_stints(100, stints, END)
+        assert len(lives) == 2
+
+
+class TestTransfers:
+    def test_gapless_inter_rir_transfer_single_life(self):
+        stints = [
+            Stint(D, D + 100, rec(registry="arin", cc="US", date=D)),
+            Stint(D + 101, D + 300, rec(registry="ripencc", cc="DE", date=D)),
+        ]
+        lives = admin_lifetimes_for_stints(100, stints, END)
+        assert len(lives) == 1
+        life = lives[0]
+        assert life.registries == ("arin", "ripencc")
+        assert life.registry == "ripencc"  # dataset field: final holder
+        assert life.transferred
+
+    def test_gapped_cross_rir_is_two_lives(self):
+        stints = [
+            Stint(D, D + 100, rec(registry="arin", cc="US", date=D)),
+            Stint(D + 130, D + 300, rec(registry="ripencc", cc="DE", date=D)),
+        ]
+        lives = admin_lifetimes_for_stints(100, stints, END)
+        assert len(lives) == 2
+
+    def test_record_validation(self):
+        from repro.lifetimes import AdminLifetime
+
+        with pytest.raises(ValueError):
+            AdminLifetime(asn=1, start=10, end=5, reg_date=10, registries=("arin",))
+        with pytest.raises(ValueError):
+            AdminLifetime(asn=1, start=5, end=10, reg_date=5, registries=())
+
+    def test_json_schema(self):
+        stints = [Stint(D, D + 100, rec())]
+        life = admin_lifetimes_for_stints(100, stints, END)[0]
+        row = life.to_json_dict()
+        assert row == {
+            "ASN": 100,
+            "regDate": "2010-01-01",
+            "startdate": "2010-01-01",
+            "enddate": "2010-04-11",
+            "status": "allocated",
+            "registry": "ripencc",
+        }

@@ -1,0 +1,118 @@
+"""Sensitivity and dataset-bundle behaviors on a simulated world.
+
+Complements the synthetic-input unit tests with checks of the Fig. 3 /
+Table 5 machinery over a real (simulated) activity population.
+"""
+
+import pytest
+
+from repro.lifetimes import (
+    fraction_one_or_less_op_life,
+    gap_cdf,
+    gap_distribution,
+    sweep_timeouts,
+)
+from repro.simulation import build_datasets, tiny
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return build_datasets(tiny(seed=23))
+
+
+class TestSensitivityOnWorld:
+    def test_gap_distribution_sorted_positive(self, bundle):
+        gaps = gap_distribution(bundle.world.activities)
+        assert gaps == sorted(gaps)
+        assert all(g >= 1 for g in gaps)
+
+    def test_knee_shape(self, bundle):
+        """The configured gap mixture produces the Fig. 3 knee: the
+        CDF climbs steeply to 30 days then plateaus."""
+        gaps = gap_distribution(bundle.world.activities)
+        rise_to_30 = gap_cdf(gaps, 30) - gap_cdf(gaps, 0)
+        rise_30_to_60 = gap_cdf(gaps, 60) - gap_cdf(gaps, 30)
+        assert rise_to_30 > 3 * rise_30_to_60
+        assert 0.5 < gap_cdf(gaps, 30) < 0.9  # paper: 70.1%
+
+    def test_one_or_less_share_at_30(self, bundle):
+        share = fraction_one_or_less_op_life(
+            bundle.admin_lives,
+            bundle.world.activities,
+            timeout=30,
+            end_day=bundle.world.end_day,
+        )
+        assert 0.7 < share < 0.97  # paper: 83%
+
+    def test_sweep_internally_consistent(self, bundle):
+        rows = sweep_timeouts(
+            bundle.admin_lives,
+            bundle.world.activities,
+            [10, 30, 90],
+            end_day=bundle.world.end_day,
+        )
+        by_timeout = {r.timeout: r for r in rows}
+        gaps = gap_distribution(bundle.world.activities)
+        for timeout, row in by_timeout.items():
+            assert row.gap_coverage == pytest.approx(gap_cdf(gaps, timeout))
+        # more merging -> fewer lifetimes
+        assert by_timeout[10].total_op_lifetimes >= by_timeout[90].total_op_lifetimes
+
+
+class TestBundleRebuild:
+    def test_rebuild_matches_initial_build(self, bundle):
+        rebuilt = bundle.rebuild_op_lives(timeout=30, min_peers=2)
+        assert rebuilt.keys() == bundle.op_lives.keys()
+        for asn in rebuilt:
+            assert [
+                (l.start, l.end) for l in rebuilt[asn]
+            ] == [(l.start, l.end) for l in bundle.op_lives[asn]]
+
+    def test_rebuild_monotone_in_timeout(self, bundle):
+        counts = {}
+        for timeout in (5, 30, 120):
+            lives = bundle.rebuild_op_lives(timeout=timeout)
+            counts[timeout] = sum(map(len, lives.values()))
+        assert counts[5] >= counts[30] >= counts[120]
+
+    def test_registry_of_covers_admin_asns(self, bundle):
+        registry_of = bundle.registry_of()
+        assert set(registry_of) == set(bundle.admin_lives)
+
+    def test_injected_defects_logged(self, bundle):
+        kinds = {d.kind for d in bundle.injected_defects}
+        assert "missing_file" in kinds
+        assert "placeholder_regdate" in kinds
+
+    def test_world_activity_clamped_to_window(self, bundle):
+        start = bundle.world.config.start_day
+        end = bundle.world.end_day
+        for activity in bundle.world.activities.values():
+            span = activity.observed.span
+            if span is not None:
+                assert span.start >= start
+                assert span.end <= end
+
+
+class TestFailed32BitWorld:
+    def test_failed_lives_unused_and_short(self, bundle):
+        failed = [l for l in bundle.world.lives if l.failed_32bit]
+        assert failed
+        for life in failed:
+            assert life.end is not None
+            assert life.duration(bundle.world.end_day) <= 31
+            assert life.asn > 65535
+            assert not life.behavior.activity  # never announced
+
+    def test_retry_allocated_to_same_org(self, bundle):
+        from repro.asn import is_16bit
+
+        orgs = bundle.world.orgs
+        found = 0
+        for life in bundle.world.lives:
+            if not life.failed_32bit:
+                continue
+            org = orgs.get(life.org_id)
+            if any(is_16bit(asn) for asn in org.asns if asn != life.asn):
+                found += 1
+        assert found > 0

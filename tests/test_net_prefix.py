@@ -1,0 +1,122 @@
+"""Unit tests for repro.net.prefix."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import Prefix
+
+
+class TestConstruction:
+    def test_parse_v4(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert (p.version, p.length) == (4, 8)
+        assert str(p) == "10.0.0.0/8"
+
+    def test_parse_v6(self):
+        p = Prefix.parse("2001:db8::/32")
+        assert (p.version, p.length) == (6, 32)
+        assert str(p) == "2001:db8::/32"
+
+    def test_parse_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.1/8")
+
+    def test_constructor_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            Prefix.v4(1, 8)
+
+    def test_constructor_rejects_bad_version(self):
+        with pytest.raises(ValueError):
+            Prefix(5, 0, 8)
+
+    def test_constructor_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            Prefix.v4(0, 33)
+
+    def test_value_equality_and_hash(self):
+        assert Prefix.parse("10.0.0.0/8") == Prefix.v4(10 << 24, 8)
+        assert hash(Prefix.parse("10.0.0.0/8")) == hash(Prefix.v4(10 << 24, 8))
+
+
+class TestContainment:
+    def test_contains_more_specific(self):
+        assert Prefix.parse("10.0.0.0/8").contains(Prefix.parse("10.1.0.0/16"))
+
+    def test_contains_self(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.contains(p)
+        assert not p.strictly_contains(p)
+
+    def test_strictly_contains(self):
+        assert Prefix.parse("10.0.0.0/8").strictly_contains(Prefix.parse("10.0.0.0/9"))
+
+    def test_does_not_contain_less_specific(self):
+        assert not Prefix.parse("10.0.0.0/16").contains(Prefix.parse("10.0.0.0/8"))
+
+    def test_does_not_contain_disjoint(self):
+        assert not Prefix.parse("10.0.0.0/8").contains(Prefix.parse("11.0.0.0/16"))
+
+    def test_cross_version_never_contains(self):
+        assert not Prefix.parse("10.0.0.0/8").contains(Prefix.parse("::/8"))
+
+    def test_overlaps_symmetric(self):
+        a, b = Prefix.parse("10.0.0.0/8"), Prefix.parse("10.2.0.0/15")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(Prefix.parse("11.0.0.0/8"))
+
+
+class TestRoutableLengths:
+    @pytest.mark.parametrize("text,ok", [
+        ("10.0.0.0/8", True),
+        ("10.0.0.0/24", True),
+        ("10.0.0.0/25", False),
+        ("0.0.0.0/0", False),
+        ("10.0.0.0/7", False),
+        ("2001:db8::/32", True),
+        ("2001:db8::/64", True),
+        ("2001:db8::/65", False),
+        ("2000::/7", False),
+    ])
+    def test_global_length_rule(self, text, ok):
+        assert Prefix.parse(text).is_globally_routable_length() is ok
+
+
+class TestSubprefix:
+    def test_first_subprefix(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.subprefix(0, 16) == Prefix.parse("10.0.0.0/16")
+
+    def test_indexed_subprefix(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.subprefix(255, 16) == Prefix.parse("10.255.0.0/16")
+
+    def test_same_length_identity(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.subprefix(0, 8) == p
+
+    def test_rejects_shorter(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0/16").subprefix(0, 8)
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0/8").subprefix(256, 16)
+
+    def test_rejects_overlong(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0/8").subprefix(0, 33)
+
+
+@given(st.integers(min_value=0, max_value=255), st.integers(min_value=9, max_value=24))
+def test_subprefixes_contained_in_parent(octet, length):
+    parent = Prefix.v4(octet << 24, 8)
+    count = min(1 << (length - 8), 64)
+    for i in range(count):
+        child = parent.subprefix(i, length)
+        assert parent.strictly_contains(child)
+
+
+@given(st.sampled_from(["10.0.0.0/8", "192.168.0.0/16", "2001:db8::/32"]))
+def test_parse_str_roundtrip(text):
+    assert str(Prefix.parse(text)) == text

@@ -1,0 +1,235 @@
+"""Tests for the six-step restoration pipeline against injected truth."""
+
+import pytest
+
+from repro.asn import IanaLedger
+from repro.rir import (
+    ERX_PLACEHOLDER_DATE,
+    EXTENDED,
+    REGULAR,
+    ArchiveOverlay,
+    DelegationArchive,
+    DelegationRecord,
+    Registry,
+    Status,
+    default_policy,
+)
+from repro.restoration import (
+    RestoredDelegations,
+    build_registry_view,
+    restore_archive,
+)
+from repro.timeline import Interval, from_iso
+
+START = from_iso("2010-05-01")
+END = from_iso("2012-05-01")
+
+
+def fresh_world():
+    ledger = IanaLedger()
+    ripe = Registry("ripencc", default_policy("ripencc"), ledger)
+    arin = Registry("arin", default_policy("arin"), ledger)
+    asns = {}
+    asns["stable"] = ripe.allocate(START, "ORG-1", "IT", thirty_two_bit=False).asn
+    asns["dealloc"] = ripe.allocate(START, "ORG-2", "FR", thirty_two_bit=False).asn
+    ripe.deallocate(START + 200, asns["dealloc"])
+    asns["arin"] = arin.allocate(START, "ORG-3", "US", thirty_two_bit=False).asn
+    return ledger, {"ripencc": ripe, "arin": arin}, asns
+
+
+def restore(registries, overlay=None, **kw):
+    archive = DelegationArchive(registries, END, overlay)
+    return restore_archive(archive, **kw)
+
+
+class TestRegistryView:
+    def test_era_stitching(self):
+        _, registries, asns = fresh_world()
+        archive = DelegationArchive(registries, END)
+        view = build_registry_view(archive, "ripencc")
+        # ripencc extended starts 2010-04-22, before START: extended rules
+        assert view.extended_start == from_iso("2010-04-22")
+        stints = view.stints[asns["stable"]]
+        assert any(s.record.is_delegated for s in stints)
+
+    def test_regular_era_only_before_extended(self):
+        ledger = IanaLedger()
+        arin = Registry("arin", default_policy("arin"), ledger)
+        a = arin.allocate(from_iso("2004-01-10"), "ORG-1", "US", thirty_two_bit=False)
+        archive = DelegationArchive({"arin": arin}, END)
+        view = build_registry_view(archive, "arin")
+        # ARIN extended starts 2013-03-05 — after END, so regular only
+        assert view.extended_start is None
+        assert view.stints[a.asn][0].record.opaque_id is None
+
+
+class TestCleanRunIsNoOp:
+    def test_no_defects_no_changes(self):
+        ledger, registries, asns = fresh_world()
+        restored, report = restore(registries, ledger=ledger)
+        assert isinstance(restored, RestoredDelegations)
+        summary = report.summary()
+        for counts in summary.values():
+            meaningful = {k: v for k, v in counts.items()
+                          if k != "asns_with_overlaps"}
+            assert all(v == 0 for v in meaningful.values()) or not meaningful
+        # the stable ASN's delegated stint spans allocation to END
+        delegated = restored.delegated_stints(asns["stable"])
+        assert delegated[0].start == START
+        assert delegated[-1].end == END
+
+
+class TestStepI:
+    def test_gap_across_missing_days_bridged(self):
+        ledger, registries, asns = fresh_world()
+        overlay = ArchiveOverlay()
+        for d in range(START + 50, START + 53):
+            overlay.mark_missing(("ripencc", EXTENDED), d)
+            overlay.mark_missing(("ripencc", REGULAR), d)
+        # punch the record out around the missing days to split the stint
+        overlay.drop_record(("ripencc", EXTENDED), asns["stable"],
+                            Interval(START + 50, START + 52))
+        restored, report = restore(registries, overlay, ledger=ledger)
+        delegated = restored.delegated_stints(asns["stable"])
+        assert len(delegated) == 1  # bridged back into one stint
+        assert report.summary()["i-missing-file-gaps"]["ripencc_gaps_bridged"] >= 1
+
+
+class TestStepII:
+    def test_extended_drop_recovered_from_regular(self):
+        ledger, registries, asns = fresh_world()
+        overlay = ArchiveOverlay()
+        overlay.drop_record(("ripencc", EXTENDED), asns["stable"],
+                            Interval(START + 100, START + 102))
+        restored, report = restore(registries, overlay, ledger=ledger)
+        delegated = restored.delegated_stints(asns["stable"])
+        assert len(delegated) == 1
+        counts = report.summary()["ii-missing-records"]
+        assert counts["ripencc_records_recovered"] >= 1
+        assert counts["ripencc_days_recovered"] >= 3
+
+    def test_drop_in_both_feeds_not_recovered_by_step_ii(self):
+        ledger, registries, asns = fresh_world()
+        overlay = ArchiveOverlay()
+        span = Interval(START + 100, START + 140)  # longer than max_gap
+        overlay.drop_record(("ripencc", EXTENDED), asns["stable"], span)
+        overlay.drop_record(("ripencc", REGULAR), asns["stable"], span)
+        restored, _ = restore(registries, overlay, ledger=ledger)
+        delegated = restored.delegated_stints(asns["stable"])
+        assert len(delegated) == 2  # the hole remains
+
+
+class TestStepIII:
+    def test_divergence_measured(self):
+        ledger, registries, asns = fresh_world()
+        overlay = ArchiveOverlay()
+        # a change lands on a stale regular day -> feeds diverge that day
+        overlay.mark_stale(("ripencc", REGULAR), START + 200)
+        restored, report = restore(registries, overlay, ledger=ledger)
+        counts = report.summary()["iii-same-day-divergence"]
+        assert counts.get("ripencc_divergent_days", 0) >= 1
+
+
+class TestStepIV:
+    def test_contradictory_duplicate_removed(self):
+        ledger, registries, asns = fresh_world()
+        overlay = ArchiveOverlay()
+        ghost = DelegationRecord("ripencc", "", asns["stable"], None, Status.RESERVED)
+        overlay.add_record(("ripencc", EXTENDED),
+                           Interval(START + 30, START + 120), ghost)
+        restored, report = restore(registries, overlay, ledger=ledger)
+        stints = restored.stints[asns["stable"]]
+        # no overlapping stints survive
+        for a, b in zip(stints, stints[1:]):
+            assert a.end < b.start
+        # and the long allocated row won over the ghost
+        assert all(
+            s.record.status is not Status.RESERVED or s.start > START + 120
+            for s in stints
+        )
+        assert report.summary()["iv-duplicate-records"]["ripencc_asns_deduplicated"] == 1
+
+
+class TestStepV:
+    def test_future_date_clamped(self):
+        ledger, registries, asns = fresh_world()
+        overlay = ArchiveOverlay()
+        wrong = START + 5
+        for kind in (REGULAR, EXTENDED):
+            overlay.override_date(("ripencc", kind), asns["stable"],
+                                  Interval(START, START + 10), wrong)
+        restored, report = restore(registries, overlay, ledger=ledger)
+        first = restored.delegated_stints(asns["stable"])[0]
+        assert first.record.reg_date == START  # clamped to first appearance
+        assert report.summary()["v-registration-dates"]["ripencc_future_dates_fixed"] >= 1
+
+    def test_placeholder_restored_with_reference(self):
+        ledger, registries, asns = fresh_world()
+        overlay = ArchiveOverlay()
+        for kind in (REGULAR, EXTENDED):
+            overlay.override_date(("ripencc", kind), asns["stable"],
+                                  Interval(START + 50, END), ERX_PLACEHOLDER_DATE)
+        true_date = from_iso("1995-03-03")
+        restored, report = restore(
+            registries, overlay, ledger=ledger,
+            erx_reference={asns["stable"]: true_date},
+        )
+        stints = restored.delegated_stints(asns["stable"])
+        assert all(s.record.reg_date in (START, true_date) for s in stints)
+        assert ERX_PLACEHOLDER_DATE not in {s.record.reg_date for s in stints}
+        counts = report.summary()["v-registration-dates"]
+        assert counts["ripencc_placeholder_dates_fixed"] >= 1
+
+    def test_placeholder_without_reference_left_to_earliest_rule(self):
+        ledger, registries, asns = fresh_world()
+        overlay = ArchiveOverlay()
+        for kind in (REGULAR, EXTENDED):
+            overlay.override_date(("ripencc", kind), asns["stable"],
+                                  Interval(START + 50, END), ERX_PLACEHOLDER_DATE)
+        restored, _ = restore(registries, overlay, ledger=ledger)
+        stints = restored.delegated_stints(asns["stable"])
+        # without reference data the placeholder survives (as in the raw
+        # files) — the backward-travel rule refuses to trust it
+        assert ERX_PLACEHOLDER_DATE in {s.record.reg_date for s in stints}
+
+
+class TestStepVI:
+    def test_stale_transfer_tail_trimmed(self):
+        ledger, registries, _ = fresh_world()
+        ripe, arin = registries["ripencc"], registries["arin"]
+        alloc = arin.allocate(START + 10, "ORG-T", "US", thirty_two_bit=False)
+        transfer_day = START + 300
+        out = arin.transfer_out(transfer_day, alloc.asn)
+        ripe.transfer_in(transfer_day, out)
+        overlay = ArchiveOverlay()
+        stale_rec = DelegationRecord(
+            "arin", "US", alloc.asn, alloc.reg_date, Status.ALLOCATED
+        )
+        for kind in (REGULAR,):
+            overlay.add_record(("arin", kind),
+                               Interval(transfer_day, transfer_day + 90), stale_rec)
+        restored, report = restore(registries, overlay, ledger=ledger)
+        arin_stints = [
+            s for s in restored.stints[alloc.asn]
+            if s.record.registry == "arin" and s.record.is_delegated
+        ]
+        assert all(s.end < transfer_day for s in arin_stints)
+        counts = report.summary()["vi-inter-rir"]
+        assert counts["asns_with_overlaps"] >= 1
+        assert counts["stale_transfer_tails_trimmed"] >= 1
+
+    def test_mistaken_allocation_removed(self):
+        ledger, registries, asns = fresh_world()
+        overlay = ArchiveOverlay()
+        ghost = DelegationRecord(
+            "arin", "ZZ", asns["stable"], START + 400, Status.ALLOCATED,
+            opaque_id="GHOST-arin-x",
+        )
+        overlay.add_record(("arin", REGULAR),
+                           Interval(START + 400, START + 500), ghost)
+        restored, report = restore(registries, overlay, ledger=ledger)
+        assert all(
+            s.record.registry == "ripencc"
+            for s in restored.stints[asns["stable"]]
+        )
+        assert report.summary()["vi-inter-rir"]["mistaken_allocations_removed"] >= 1

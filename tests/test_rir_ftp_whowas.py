@@ -1,0 +1,143 @@
+"""Tests for the FTP-mirror layout and the WhoWas query service."""
+
+import pytest
+
+from repro.asn import IanaLedger
+from repro.lifetimes import AdminLifetime
+from repro.rir import (
+    EXTENDED,
+    REGULAR,
+    ArchiveOverlay,
+    DelegationArchive,
+    MirrorReader,
+    Registry,
+    WhoWas,
+    default_policy,
+    export_archive,
+    file_name,
+)
+from repro.timeline import from_iso
+
+START = from_iso("2010-05-01")
+END = from_iso("2010-07-01")
+
+
+@pytest.fixture
+def archive():
+    ledger = IanaLedger()
+    ripe = Registry("ripencc", default_policy("ripencc"), ledger)
+    ripe.allocate(START, "ORG-1", "IT", thirty_two_bit=False)
+    ripe.allocate(START + 10, "ORG-2", "FR", thirty_two_bit=False)
+    overlay = ArchiveOverlay()
+    overlay.mark_missing(("ripencc", EXTENDED), START + 5)
+    overlay.mark_corrupt(("ripencc", EXTENDED), START + 7)
+    return DelegationArchive({"ripencc": ripe}, END, overlay)
+
+
+class TestFtpMirror:
+    def test_file_names(self):
+        assert file_name(("apnic", REGULAR), from_iso("2015-01-02")) == (
+            "delegated-apnic-20150102"
+        )
+        assert file_name(("apnic", EXTENDED), from_iso("2015-01-02")) == (
+            "delegated-apnic-extended-20150102"
+        )
+
+    def test_export_and_describe(self, archive, tmp_path):
+        written = export_archive(archive, tmp_path, start=START, end=START + 10)
+        assert written > 0
+        reader = MirrorReader(tmp_path)
+        assert ("ripencc", REGULAR) in reader.sources()
+        assert ("ripencc", EXTENDED) in reader.sources()
+        assert "ripencc" in reader.describe()
+
+    def test_missing_day_absent_on_disk(self, archive, tmp_path):
+        export_archive(archive, tmp_path, start=START, end=START + 10)
+        reader = MirrorReader(tmp_path)
+        assert START + 5 in reader.missing_days(("ripencc", EXTENDED))
+        assert reader.read(("ripencc", EXTENDED), START + 5) is None
+
+    def test_corrupt_day_yields_none_via_iterator(self, archive, tmp_path):
+        export_archive(archive, tmp_path, start=START, end=START + 10)
+        reader = MirrorReader(tmp_path)
+        snaps = dict(reader.iter_snapshots(("ripencc", EXTENDED)))
+        assert snaps[START + 7] is None  # corrupt file on disk
+        assert snaps[START + 4] is not None
+
+    def test_roundtrip_content(self, archive, tmp_path):
+        export_archive(archive, tmp_path, start=START, end=START + 2)
+        reader = MirrorReader(tmp_path)
+        snap = reader.read(("ripencc", EXTENDED), START + 1)
+        direct = archive.snapshot(("ripencc", EXTENDED), START + 1)
+        assert sorted(r.asn for r in snap.records) == sorted(
+            r.asn for r in direct.records
+        )
+
+    def test_reader_rejects_missing_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            MirrorReader(tmp_path / "nope")
+
+    def test_registry_filter(self, archive, tmp_path):
+        written = export_archive(
+            archive, tmp_path, start=START, end=START + 2, registries=["arin"]
+        )
+        assert written == 0
+
+
+def life(asn, start, end, org, registry="arin", open_ended=False):
+    return AdminLifetime(
+        asn, from_iso(start), from_iso(end), from_iso(start), (registry,),
+        cc="US", org_id=org, open_ended=open_ended,
+    )
+
+
+class TestWhoWas:
+    @pytest.fixture
+    def service(self):
+        lives = {
+            100: [
+                life(100, "2005-01-01", "2010-01-01", "ORG-A"),
+                life(100, "2012-01-01", "2021-03-01", "ORG-B", open_ended=True),
+            ],
+            70001: [life(70001, "2015-01-01", "2015-01-20", "ORG-C")],
+            200: [life(200, "2015-02-10", "2021-03-01", "ORG-C", open_ended=True)],
+        }
+        return WhoWas(lives)
+
+    def test_history_of(self, service):
+        history = service.history_of(100)
+        assert [h.org_id for h in history] == ["ORG-A", "ORG-B"]
+
+    def test_holder_on(self, service):
+        assert service.holder_on(100, from_iso("2007-06-01")).org_id == "ORG-A"
+        assert service.holder_on(100, from_iso("2011-06-01")) is None
+        assert service.holder_on(100, from_iso("2015-06-01")).org_id == "ORG-B"
+
+    def test_holdings_of_org(self, service):
+        assert [h.asn for h in service.holdings_of("ORG-C")] == [70001, 200]
+
+    def test_expired_holdings(self, service):
+        expired = service.expired_holdings()
+        assert {h.asn for h in expired} == {100, 70001}
+        before = service.expired_holdings(before=from_iso("2011-01-01"))
+        assert {h.asn for h in before} == {100}
+
+    def test_32bit_retry_found(self, service):
+        findings = service.find_32bit_retries()
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.org_id == "ORG-C"
+        assert f.failed_asn == 70001
+        assert f.replacement_asn == 200
+        assert f.gap_days == 21
+
+    def test_32bit_retry_registry_filter(self, service):
+        assert service.find_32bit_retries(registry="ripencc") == []
+
+    def test_reuse_chain(self, service):
+        chain = service.reuse_chain(100)
+        assert [org for org, _s, _e in chain] == ["ORG-A", "ORG-B"]
+
+    def test_describe(self, service):
+        text = service.history_of(100)[0].describe()
+        assert "AS100" in text and "ORG-A" in text

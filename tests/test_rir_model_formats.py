@@ -1,0 +1,246 @@
+"""Unit tests for repro.rir.model and repro.rir.formats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rir import (
+    DelegationFileError,
+    DelegationRecord,
+    DelegationSnapshot,
+    Status,
+    compress_records,
+    parse_snapshot,
+    serialize_snapshot,
+)
+from repro.timeline import from_iso
+
+
+def rec(asn, status=Status.ALLOCATED, cc="IT", date="2010-05-01", opaque="ORG-1",
+        registry="ripencc"):
+    return DelegationRecord(
+        registry=registry,
+        cc=cc,
+        asn=asn,
+        reg_date=from_iso(date) if date else None,
+        status=status,
+        opaque_id=opaque,
+    )
+
+
+class TestStatus:
+    def test_parse(self):
+        assert Status.parse("ALLOCATED") is Status.ALLOCATED
+        assert Status.parse(" reserved ") is Status.RESERVED
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Status.parse("squatted")
+
+    def test_is_delegated(self):
+        assert Status.ALLOCATED.is_delegated
+        assert Status.ASSIGNED.is_delegated
+        assert not Status.AVAILABLE.is_delegated
+        assert not Status.RESERVED.is_delegated
+
+
+class TestDelegationRecord:
+    def test_rejects_unknown_registry(self):
+        with pytest.raises(ValueError):
+            rec(1, registry="internic")
+
+    def test_rejects_delegated_without_date(self):
+        with pytest.raises(ValueError):
+            DelegationRecord("arin", "US", 7, None, Status.ALLOCATED)
+
+    def test_available_without_date_ok(self):
+        r = DelegationRecord("arin", "", 7, None, Status.AVAILABLE)
+        assert not r.is_delegated
+
+    def test_with_date(self):
+        r = rec(1)
+        r2 = r.with_date(from_iso("1999-01-01"))
+        assert r2.reg_date == from_iso("1999-01-01")
+        assert r.reg_date == from_iso("2010-05-01")  # original untouched
+
+    def test_describe_mentions_asn(self):
+        assert "AS42" in rec(42).describe()
+
+
+class TestSnapshot:
+    def test_by_asn_preserves_duplicates(self):
+        snap = DelegationSnapshot(
+            "afrinic", from_iso("2015-01-01"), True,
+            [rec(5, registry="afrinic"),
+             rec(5, registry="afrinic", status=Status.RESERVED, date=None,
+                 cc="", opaque=None)],
+        )
+        assert len(snap.by_asn()[5]) == 2
+
+    def test_delegated_records_filter(self):
+        snap = DelegationSnapshot(
+            "ripencc", from_iso("2015-01-01"), True,
+            [rec(1), rec(2, status=Status.AVAILABLE, date=None, cc="", opaque=None)],
+        )
+        assert [r.asn for r in snap.delegated_records()] == [1]
+
+    def test_count_by_status(self):
+        snap = DelegationSnapshot(
+            "ripencc", from_iso("2015-01-01"), True,
+            [rec(1), rec(2), rec(3, status=Status.AVAILABLE, date=None, cc="", opaque=None)],
+        )
+        counts = snap.count_by_status()
+        assert counts[Status.ALLOCATED] == 2
+        assert counts[Status.AVAILABLE] == 1
+
+
+class TestCompression:
+    def test_contiguous_same_fields_collapse(self):
+        records = [rec(10), rec(11), rec(12)]
+        runs = compress_records(records)
+        assert len(runs) == 1
+        assert runs[0][1] == 3
+
+    def test_gap_breaks_run(self):
+        runs = compress_records([rec(10), rec(12)])
+        assert len(runs) == 2
+
+    def test_field_change_breaks_run(self):
+        runs = compress_records([rec(10), rec(11, cc="FR")])
+        assert len(runs) == 2
+
+
+class TestRoundTrip:
+    def make_snapshot(self, extended=True):
+        records = [
+            rec(64, date="2004-03-02", cc="DE", opaque="ORG-A"),
+            rec(65, date="2004-03-02", cc="DE", opaque="ORG-A"),
+            rec(100, status=Status.ASSIGNED, cc="IT", opaque="ORG-B"),
+        ]
+        if extended:
+            records += [
+                DelegationRecord("ripencc", "", 200, None, Status.AVAILABLE),
+                DelegationRecord("ripencc", "", 201, None, Status.AVAILABLE),
+                DelegationRecord("ripencc", "", 300, None, Status.RESERVED),
+            ]
+        else:
+            records = [r.with_status(r.status) for r in records]
+            records = [
+                DelegationRecord(r.registry, r.cc, r.asn, r.reg_date, r.status)
+                for r in records
+            ]
+        return DelegationSnapshot(
+            "ripencc", from_iso("2015-06-01"), extended, records, serial=1234
+        )
+
+    def test_extended_roundtrip(self):
+        snap = self.make_snapshot(extended=True)
+        parsed = parse_snapshot(serialize_snapshot(snap))
+        assert parsed.registry == "ripencc"
+        assert parsed.extended
+        assert parsed.serial == 1234
+        assert parsed.file_day == snap.file_day
+        assert sorted(parsed.records, key=lambda r: (r.asn, r.status.value)) == sorted(
+            snap.records, key=lambda r: (r.asn, r.status.value)
+        )
+
+    def test_regular_roundtrip(self):
+        snap = self.make_snapshot(extended=False)
+        parsed = parse_snapshot(serialize_snapshot(snap))
+        assert not parsed.extended
+        assert len(parsed.records) == 3
+        assert all(r.opaque_id is None for r in parsed.records)
+
+    def test_serialized_text_shape(self):
+        text = serialize_snapshot(self.make_snapshot())
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("2.3|ripencc|1234|")
+        assert lines[1].endswith("|summary")
+        assert "|asn|64|2|20040302|allocated|ORG-A" in text
+
+
+class TestParserRobustness:
+    GOOD = (
+        "2|arin|20150601|2|20150601|20150601|+0000\n"
+        "arin|*|asn|*|2|summary\n"
+        "arin|US|asn|701|1|19900101|allocated\n"
+        "arin|US|asn|702|1|19900101|assigned\n"
+    )
+
+    def test_parses_good(self):
+        snap = parse_snapshot(self.GOOD)
+        assert [r.asn for r in snap.records] == [701, 702]
+
+    def test_skips_comments_and_blanks(self):
+        text = "# hello\n\n" + self.GOOD
+        assert len(parse_snapshot(text).records) == 2
+
+    def test_skips_ipv4_rows(self):
+        text = self.GOOD.replace(
+            "|2|summary", "|3|summary"
+        ).replace(
+            "20150601|2|2015", "20150601|3|2015"
+        ) + "arin|US|ipv4|192.0.2.0|256|19900101|allocated\n"
+        snap = parse_snapshot(text)
+        assert len(snap.records) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(DelegationFileError):
+            parse_snapshot("")
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(DelegationFileError):
+            parse_snapshot("oops\n" + self.GOOD)
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(DelegationFileError):
+            parse_snapshot(self.GOOD.replace("2|arin", "9|arin"))
+
+    def test_rejects_truncation(self):
+        truncated = "\n".join(self.GOOD.splitlines()[:-1]) + "\n"
+        with pytest.raises(DelegationFileError, match="truncated"):
+            parse_snapshot(truncated)
+
+    def test_rejects_bad_date(self):
+        with pytest.raises(DelegationFileError):
+            parse_snapshot(self.GOOD.replace("19900101", "1990-01-0"))
+
+    def test_rejects_reserved_in_regular(self):
+        with pytest.raises(DelegationFileError):
+            parse_snapshot(self.GOOD.replace("|assigned", "|reserved"))
+
+    def test_rejects_bad_asn_range(self):
+        with pytest.raises(DelegationFileError):
+            parse_snapshot(self.GOOD.replace("|701|1|", "|4294967295|2|"))
+
+    def test_expands_value_runs(self):
+        text = (
+            "2.3|apnic|1|1|20150601|20150601|+0000\n"
+            "apnic|*|asn|*|1|summary\n"
+            "apnic||asn|64000|512||available|\n"
+        )
+        snap = parse_snapshot(text)
+        assert len(snap.records) == 512
+        assert snap.records[0].asn == 64000
+        assert snap.records[-1].asn == 64511
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=5000),
+            st.sampled_from(["IT", "FR", "US"]),
+        ),
+        min_size=1,
+        max_size=30,
+        unique_by=lambda t: t[0],
+    )
+)
+def test_roundtrip_property(pairs):
+    records = [rec(asn, cc=cc) for asn, cc in pairs]
+    snap = DelegationSnapshot("ripencc", from_iso("2016-02-03"), True, records)
+    parsed = parse_snapshot(serialize_snapshot(snap))
+    assert sorted(parsed.records, key=lambda r: r.asn) == sorted(
+        records, key=lambda r: r.asn
+    )

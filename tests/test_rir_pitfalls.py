@@ -1,0 +1,147 @@
+"""Tests for the §3.1 defect injector."""
+
+import pytest
+
+from repro.asn import IanaLedger
+from repro.rir import (
+    ERX_PLACEHOLDER_DATE,
+    EXTENDED,
+    REGULAR,
+    DelegationArchive,
+    PitfallConfig,
+    PitfallInjector,
+    Registry,
+    Status,
+    TransferRecord,
+    default_policy,
+)
+from repro.timeline import from_iso
+
+START = from_iso("2004-02-01")
+END = from_iso("2015-01-01")
+
+
+@pytest.fixture
+def registries():
+    ledger = IanaLedger()
+    regs = {}
+    for name in ("afrinic", "arin", "ripencc"):
+        reg = Registry(name, default_policy(name), ledger)
+        cc = {"afrinic": "ZA", "arin": "US", "ripencc": "DE"}[name]
+        start = max(START, from_iso("2005-03-01") if name == "afrinic" else START)
+        for i in range(30):
+            reg.allocate(start + i * 20, f"ORG-{name}-{i}", cc, thirty_two_bit=False)
+        regs[name] = reg
+    return regs
+
+
+def windows_for(registries):
+    archive = DelegationArchive(registries, END)
+    return {w.source: (w.first_day, w.last_day) for w in archive.sources()}
+
+
+class TestInjection:
+    def test_missing_and_corrupt_days(self, registries):
+        injector = PitfallInjector(registries, END, seed=1)
+        overlay = injector.inject_all(windows_for(registries))
+        total_missing = sum(len(v) for v in overlay.missing_days.values())
+        total_corrupt = sum(len(v) for v in overlay.corrupt_days.values())
+        assert total_missing > 0 and total_corrupt > 0
+
+    def test_longest_missing_run_on_ripe_regular(self, registries):
+        injector = PitfallInjector(registries, END, seed=1)
+        overlay = injector.inject_all(windows_for(registries))
+        days = sorted(overlay.missing_days[("ripencc", REGULAR)])
+        longest = run = 1
+        for a, b in zip(days, days[1:]):
+            run = run + 1 if b == a + 1 else 1
+            longest = max(longest, run)
+        assert longest >= PitfallConfig().longest_missing_run
+
+    def test_stale_days_never_afrinic(self, registries):
+        injector = PitfallInjector(registries, END, seed=2)
+        overlay = injector.inject_all(windows_for(registries))
+        assert ("afrinic", REGULAR) not in overlay.stale_days
+        assert overlay.stale_days.get(("ripencc", REGULAR))
+
+    def test_record_drops_on_extended_only(self, registries):
+        injector = PitfallInjector(registries, END, seed=3)
+        overlay = injector.inject_all(windows_for(registries))
+        assert all(kind == EXTENDED for (_, kind) in overlay.record_drops)
+        assert overlay.record_drops
+
+    def test_afrinic_duplicates(self, registries):
+        injector = PitfallInjector(registries, END, seed=4)
+        overlay = injector.inject_all(windows_for(registries))
+        dupes = overlay.extra_records.get(("afrinic", EXTENDED), {})
+        dupe_defects = [d for d in injector.truth if d.kind == "duplicate_record"]
+        assert dupe_defects
+        assert len(dupes) >= len(dupe_defects) > 0
+        for defect in dupe_defects:
+            rows = dupes[defect.asn]
+            assert any(rec.status is Status.RESERVED for _, rec in rows)
+
+    def test_erx_placeholder(self, registries):
+        transfers = [
+            TransferRecord(
+                asn=asn, day=from_iso("2003-06-01"), from_rir="arin",
+                to_rir="ripencc", original_reg_date=from_iso("1995-05-05"), erx=True,
+            )
+            for asn in (10, 11, 12, 13, 14, 15)
+        ]
+        injector = PitfallInjector(registries, END, seed=5)
+        overlay = injector.inject_all(windows_for(registries), transfers)
+        overrides = overlay.date_overrides.get(("ripencc", REGULAR), {})
+        placeholder_hits = [
+            date
+            for per_asn in overrides.values()
+            for _, date in per_asn
+            if date == ERX_PLACEHOLDER_DATE
+        ]
+        assert placeholder_hits  # share=0.85 over 6 transfers
+
+    def test_stale_transfer_records(self, registries):
+        transfers = [
+            TransferRecord(
+                asn=asn, day=from_iso("2010-06-01"), from_rir="arin",
+                to_rir="ripencc", original_reg_date=START, erx=False,
+            )
+            for asn in sorted(registries["arin"].allocated)[:10]
+        ]
+        # the transfers must actually happen for history to show departure
+        for t in transfers:
+            out = registries["arin"].transfer_out(t.day, t.asn)
+            registries["ripencc"].transfer_in(t.day, out)
+        injector = PitfallInjector(registries, END, seed=6)
+        overlay = injector.inject_all(windows_for(registries), transfers)
+        stale = [d for d in injector.truth if d.kind == "stale_transfer_record"]
+        assert stale
+        for defect in stale:
+            rows = overlay.extra_records[("arin", REGULAR)][defect.asn]
+            assert any(rec.is_delegated for _, rec in rows)
+
+    def test_mistaken_allocations_cross_rir(self, registries):
+        injector = PitfallInjector(registries, END, seed=7)
+        overlay = injector.inject_all(windows_for(registries))
+        mistakes = [d for d in injector.truth if d.kind == "mistaken_allocation"]
+        assert mistakes
+        for defect in mistakes:
+            culprit = defect.source[0]
+            ledger_owner = registries[culprit].ledger.rir_of(defect.asn)
+            assert ledger_owner != culprit  # the culprit never held the block
+
+    def test_determinism(self, registries):
+        w = windows_for(registries)
+        a = PitfallInjector(registries, END, seed=42)
+        a.inject_all(w)
+        b = PitfallInjector(registries, END, seed=42)
+        b.inject_all(w)
+        assert a.defects_by_kind() == b.defects_by_kind()
+        assert a.overlay.missing_days == b.overlay.missing_days
+
+    def test_defect_counts_reported(self, registries):
+        injector = PitfallInjector(registries, END, seed=8)
+        overlay = injector.inject_all(windows_for(registries))
+        counts = injector.defects_by_kind()
+        assert counts.get("missing_file", 0) > 0
+        assert overlay.defect_count() > 0

@@ -1,0 +1,164 @@
+"""Integration tests for the world simulator and dataset builder."""
+
+import pytest
+
+from repro.bgp import MALICIOUS_KINDS, NOISE_ORIGIN
+from repro.core import Category
+from repro.rir import Status
+from repro.simulation import WorldSimulator, build_datasets, tiny
+from repro.timeline import from_iso
+
+
+@pytest.fixture(scope="module")
+def world():
+    return WorldSimulator(tiny(seed=11)).run()
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return build_datasets(tiny(seed=11))
+
+
+class TestWorldInvariants:
+    def test_registry_pools_consistent(self, world):
+        for registry in world.registries.values():
+            registry.check_invariants()
+
+    def test_every_life_has_behavior(self, world):
+        assert all(life.behavior is not None for life in world.lives)
+
+    def test_lives_disjoint_per_asn(self, world):
+        for asn, lives in world.lives_by_asn().items():
+            for a, b in zip(lives, lives[1:]):
+                assert a.end is not None
+                assert a.end < b.start
+
+    def test_erx_transfers_tracked(self, world):
+        erx = [t for t in world.transfers if t.erx]
+        assert erx
+        assert set(world.erx_reference) == {t.asn for t in erx}
+        for t in erx:
+            assert t.from_rir == "arin"
+            assert t.day <= from_iso("2005-12-31")
+
+    def test_historical_reg_dates_reach_back(self, world):
+        years = {
+            from_iso(f"{y}-01-01")
+            for y in (1992, 1993)
+        }
+        earliest = min(life.reg_date for life in world.lives)
+        assert earliest < from_iso("1994-01-01")
+
+    def test_hoarders_exist_and_hold_many(self, world):
+        hoarders = world.orgs.hoarders()
+        assert hoarders
+        assert all(len(h.asns) >= 5 for h in hoarders)
+
+    def test_anomaly_origins_have_activity(self, world):
+        for event in world.events:
+            activity = world.activities.get(event.origin)
+            assert activity is not None
+            overlap = activity.observed.overlap_days(event.interval)
+            assert overlap == event.interval.duration
+
+    def test_determinism(self):
+        a = WorldSimulator(tiny(seed=5)).run()
+        b = WorldSimulator(tiny(seed=5)).run()
+        assert len(a.lives) == len(b.lives)
+        assert [(l.asn, l.start, l.end) for l in a.lives] == [
+            (l.asn, l.start, l.end) for l in b.lives
+        ]
+        assert len(a.events) == len(b.events)
+
+    def test_seeds_differ(self):
+        a = WorldSimulator(tiny(seed=5)).run()
+        b = WorldSimulator(tiny(seed=6)).run()
+        assert [(l.asn, l.start) for l in a.lives] != [
+            (l.asn, l.start) for l in b.lives
+        ]
+
+
+class TestDatasetBundle:
+    def test_admin_lives_recover_truth_lives(self, bundle):
+        """Restored lifetime count should track the ground truth within
+        a small tolerance (boundary degradations, window censoring)."""
+        truth = len(bundle.world.lives)
+        recovered = bundle.joint.total_admin_lifetimes()
+        assert abs(recovered - truth) / truth < 0.05
+
+    def test_admin_life_boundaries_match_truth(self, bundle):
+        """For a sample of single-life ASNs the recovered boundaries
+        must match the truth exactly (restoration undid the defects)."""
+        truth_by_asn = bundle.world.lives_by_asn()
+        checked = 0
+        for asn, truth_lives in truth_by_asn.items():
+            if len(truth_lives) != 1 or truth_lives[0].erx:
+                continue
+            truth_life = truth_lives[0]
+            recovered = bundle.admin_lives.get(asn)
+            if recovered is None or len(recovered) != 1:
+                continue
+            life = recovered[0]
+            if life.left_censored:
+                continue
+            expected_end = (
+                truth_life.end if truth_life.end is not None
+                else bundle.world.end_day
+            )
+            if life.start == truth_life.start and life.end == expected_end:
+                checked += 1
+        assert checked > len(truth_by_asn) * 0.5
+
+    def test_erx_dates_restored(self, bundle):
+        """The placeholder defect must be gone: ERX lifetimes carry
+        their original registration dates again."""
+        for asn, original in bundle.world.erx_reference.items():
+            for life in bundle.admin_lives.get(asn, []):
+                from repro.rir import ERX_PLACEHOLDER_DATE
+
+                assert life.reg_date != ERX_PLACEHOLDER_DATE
+
+    def test_taxonomy_covers_all_lives(self, bundle):
+        admin_total, op_total = bundle.joint.taxonomy.totals()
+        assert admin_total == bundle.joint.total_admin_lifetimes()
+        assert op_total == bundle.joint.total_op_lifetimes()
+
+    def test_unused_share_near_paper(self, bundle):
+        share = bundle.joint.category_share_admin(Category.UNUSED)
+        assert 0.10 < share < 0.30  # paper: 17.9%
+
+    def test_complete_overlap_dominates(self, bundle):
+        share = bundle.joint.category_share_admin(Category.COMPLETE_OVERLAP)
+        assert share > 0.6  # paper: 78.6%
+
+    def test_squat_detector_full_recall(self, bundle):
+        score = bundle.joint.squatting_score()
+        if score["truth_events"]:
+            assert score["recall"] == 1.0
+
+    def test_never_allocated_from_events(self, bundle):
+        outside = bundle.joint.outside
+        event_origins = {
+            e.origin for e in bundle.world.events if e.kind == NOISE_ORIGIN
+        }
+        assert event_origins & outside.never_allocated_asns
+
+    def test_rebuild_op_lives_timeout(self, bundle):
+        shorter = bundle.rebuild_op_lives(timeout=5)
+        longer = bundle.rebuild_op_lives(timeout=300)
+        assert sum(map(len, shorter.values())) >= sum(map(len, longer.values()))
+
+    def test_pitfall_free_run_matches_better(self):
+        clean = build_datasets(tiny(seed=11), inject_pitfalls=False)
+        total = sum(
+            step.total() for step in clean.restoration_report.steps
+            if step.step != "vi-inter-rir"
+        )
+        assert total == 0  # nothing to repair in a pristine archive
+
+    def test_registry_of_mapping(self, bundle):
+        registry_of = bundle.registry_of()
+        assert set(registry_of.values()) <= {
+            "afrinic", "apnic", "arin", "lacnic", "ripencc"
+        }
+        assert len(registry_of) == len(bundle.admin_lives)

@@ -1,0 +1,89 @@
+"""Unit tests for repro.timeline.dates."""
+
+import datetime
+
+import pytest
+
+from repro.timeline import dates
+
+
+class TestConversions:
+    def test_day_roundtrip(self):
+        d = dates.day(2017, 9, 20)
+        assert dates.to_iso(d) == "2017-09-20"
+        assert dates.to_date(d) == datetime.date(2017, 9, 20)
+
+    def test_from_iso(self):
+        assert dates.from_iso("2003-10-09") == dates.PAPER_START
+
+    def test_from_iso_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            dates.from_iso("not-a-date")
+
+    def test_paper_window_is_17_years(self):
+        years = (dates.PAPER_END - dates.PAPER_START) / 365.25
+        assert 17 < years < 17.5
+
+    def test_add_days(self):
+        d = dates.day(2020, 2, 28)
+        assert dates.to_iso(dates.add_days(d, 1)) == "2020-02-29"
+        assert dates.to_iso(dates.add_days(d, 2)) == "2020-03-01"
+        assert dates.to_iso(dates.add_days(d, -28)) == "2020-01-31"
+
+
+class TestBuckets:
+    def test_year_of(self):
+        assert dates.year_of(dates.day(1999, 12, 31)) == 1999
+        assert dates.year_of(dates.day(2000, 1, 1)) == 2000
+
+    def test_month_of(self):
+        assert dates.month_of(dates.day(2010, 7, 15)) == (2010, 7)
+
+    @pytest.mark.parametrize(
+        "month,quarter", [(1, 1), (3, 1), (4, 2), (6, 2), (7, 3), (9, 3), (10, 4), (12, 4)]
+    )
+    def test_quarter_of(self, month, quarter):
+        assert dates.quarter_of(dates.day(2015, month, 20)) == (2015, quarter)
+
+    def test_quarter_start(self):
+        assert dates.to_iso(dates.quarter_start(2015, 1)) == "2015-01-01"
+        assert dates.to_iso(dates.quarter_start(2015, 4)) == "2015-10-01"
+
+    def test_quarter_start_rejects_bad_quarter(self):
+        with pytest.raises(ValueError):
+            dates.quarter_start(2015, 5)
+
+    def test_month_and_year_start(self):
+        assert dates.to_iso(dates.month_start(2012, 6)) == "2012-06-01"
+        assert dates.to_iso(dates.year_start(2012)) == "2012-01-01"
+
+
+class TestSpans:
+    def test_days_between_inclusive(self):
+        d = dates.day(2020, 1, 1)
+        assert dates.days_between(d, d) == 1
+        assert dates.days_between(d, d + 30) == 31
+
+    def test_days_between_rejects_reversed(self):
+        d = dates.day(2020, 1, 1)
+        with pytest.raises(ValueError):
+            dates.days_between(d, d - 1)
+
+    def test_iter_days(self):
+        d = dates.day(2020, 1, 1)
+        assert list(dates.iter_days(d, d + 2)) == [d, d + 1, d + 2]
+
+    def test_iter_quarters_spans_year_boundary(self):
+        qs = list(
+            dates.iter_quarters(dates.day(2014, 11, 5), dates.day(2015, 2, 1))
+        )
+        assert qs == [(2014, 4), (2015, 1)]
+
+    def test_iter_quarters_single(self):
+        qs = list(dates.iter_quarters(dates.day(2014, 5, 1), dates.day(2014, 6, 1)))
+        assert qs == [(2014, 2)]
+
+
+def test_today_guard_always_raises():
+    with pytest.raises(RuntimeError, match="deterministic"):
+        dates.today_guard()
