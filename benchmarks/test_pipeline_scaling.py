@@ -1,0 +1,83 @@
+"""Pipeline runtime scaling: stage profile, backend speedup, cache speedup.
+
+Unlike the other benchmarks (which regenerate paper tables/figures),
+this one measures the *pipeline itself*: per-stage wall times under the
+serial and process-pool backends, the serial/parallel speedup, and the
+cold-build vs. warm-cache-hit speedup.  The numbers go to
+``benchmarks/results/pipeline_scaling.txt``; the assertions pin the
+determinism contract (backends agree exactly) and the cache's reason to
+exist (a warm hit is an order of magnitude faster than a rebuild).
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+from repro.runtime import ArtifactCache, PipelineStats
+from repro.simulation import bench, build_datasets
+
+from conftest import CACHE_DIR
+
+
+def _timed_build(**kwargs):
+    start = perf_counter()
+    bundle = build_datasets(bench(seed=2021), **kwargs)
+    return bundle, perf_counter() - start
+
+
+def test_pipeline_scaling(record_result):
+    serial_stats = PipelineStats()
+    serial_bundle, cold_seconds = _timed_build(stats=serial_stats)
+
+    parallel_stats = PipelineStats()
+    parallel_bundle, parallel_seconds = _timed_build(jobs=2, stats=parallel_stats)
+
+    # determinism contract: the process-pool bundle matches serially
+    # built output exactly, ordering included
+    assert parallel_bundle.restored.stints == serial_bundle.restored.stints
+    assert parallel_bundle.admin_lives == serial_bundle.admin_lives
+    assert parallel_bundle.op_lives == serial_bundle.op_lives
+    assert list(parallel_bundle.admin_lives) == list(serial_bundle.admin_lives)
+    assert (
+        parallel_bundle.restoration_report.summary()
+        == serial_bundle.restoration_report.summary()
+    )
+
+    # every pipeline stage shows up in both profiles
+    for name in ("simulate", "restore:per-registry", "admin-lifetimes",
+                 "bgp-lifetimes"):
+        assert serial_stats.seconds_of(name) > 0
+        assert parallel_stats.seconds_of(name) > 0
+
+    # warm-cache hit: ensure the entry exists, then time a pure hit.
+    # A hit returns a partitioned bundle (components decode on first
+    # access), so the hit itself costs file I/O, not graph rebuilding.
+    cache = ArtifactCache(CACHE_DIR)
+    build_datasets(bench(seed=2021), cache=cache)
+    warm_stats = PipelineStats()
+    _, warm_seconds = _timed_build(cache=cache, stats=warm_stats)
+    assert cache.hits >= 1
+    assert [s.name for s in warm_stats.stages] == ["cache:lookup"]
+    cache_speedup = cold_seconds / warm_seconds
+    assert cache_speedup >= 10, (
+        f"warm cache hit only {cache_speedup:.1f}x faster than cold build "
+        f"({warm_seconds:.3f}s vs {cold_seconds:.3f}s)"
+    )
+
+    backend_speedup = cold_seconds / parallel_seconds
+    lines = [
+        f"host CPUs: {os.cpu_count()} (speedup >1 needs real cores; "
+        "on 1 CPU the pool only adds pickling overhead)",
+        "",
+        serial_stats.render(),
+        "",
+        parallel_stats.render(),
+        "",
+        f"{'cold build (serial)':<28} {cold_seconds:>9.3f}s",
+        f"{'build with --jobs 2':<28} {parallel_seconds:>9.3f}s",
+        f"{'warm cache hit':<28} {warm_seconds:>9.3f}s",
+        f"{'serial/parallel speedup':<28} {backend_speedup:>9.2f}x",
+        f"{'cold/warm cache speedup':<28} {cache_speedup:>9.2f}x",
+    ]
+    record_result("pipeline_scaling", "\n".join(lines))

@@ -28,6 +28,7 @@ from .moas import (
     find_moas,
     find_submoas,
 )
+from .dumps import dump_file_name, materialize_collector_dumps
 from .mrt import MrtError, dump_day, load_day, read_elements, write_elements
 from .routing import (
     ROUTE_CUSTOMER,
@@ -90,5 +91,7 @@ __all__ = [
     "write_elements",
     "read_elements",
     "dump_day",
+    "dump_file_name",
+    "materialize_collector_dumps",
     "load_day",
 ]

@@ -14,6 +14,14 @@ Subcommands mirror the paper's workflow (Fig. 1):
     directory tree of daily ``delegated-*`` files.
 ``squat-hunt``
     Run the §6.1.2 dormant-squat detector over exported datasets.
+``export-dumps``
+    Materialize per-collector MRT dump files (one directory per
+    collector, one file per day), fanned out one worker per collector.
+
+Runtime flags on ``simulate``: ``--jobs N`` fans the parallel pipeline
+stages out over N worker processes (bit-identical output),
+``--cache-dir PATH`` reuses/stores content-addressed pipeline
+artifacts, and ``--profile`` prints per-stage wall times.
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -60,6 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip §3.1 defect injection")
     simulate.add_argument("--timeout", type=int, default=30,
                           help="BGP inactivity timeout in days (default 30)")
+    simulate.add_argument("--jobs", type=int, default=None,
+                          help="worker processes for parallel stages "
+                          "(default: serial; output is identical)")
+    simulate.add_argument("--cache-dir", type=Path, default=None,
+                          help="content-addressed artifact cache directory "
+                          "(warm hits skip the whole rebuild)")
+    simulate.add_argument("--profile", action="store_true",
+                          help="print per-stage wall times and item counts")
 
     analyze = sub.add_parser("analyze", help="joint analysis over exported datasets")
     analyze.add_argument("admin", type=Path, help="administrative dataset JSON")
@@ -84,13 +100,30 @@ def build_parser() -> argparse.ArgumentParser:
     hunt.add_argument("--relative-duration", type=float, default=0.05,
                       help="maximum op/admin duration ratio (default 0.05)")
     hunt.add_argument("--top", type=int, default=20)
+
+    dumps = sub.add_parser("export-dumps",
+                           help="write per-collector MRT dump files")
+    dumps.add_argument("--scale", type=float, default=0.006)
+    dumps.add_argument("--seed", type=int, default=0)
+    dumps.add_argument("--out", type=Path, required=True)
+    dumps.add_argument("--start", default=None, help="first day (YYYY-MM-DD)")
+    dumps.add_argument("--end", default=None, help="last day (YYYY-MM-DD)")
+    dumps.add_argument("--days", type=int, default=30,
+                       help="length of the window when --start/--end are "
+                       "not both given (default 30)")
+    dumps.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (one task per collector)")
     return parser
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .runtime import PipelineStats
+
     config = WorldConfig(seed=args.seed, scale=args.scale)
+    stats = PipelineStats()
     bundle = build_datasets(
-        config, inject_pitfalls=not args.no_pitfalls, timeout=args.timeout
+        config, inject_pitfalls=not args.no_pitfalls, timeout=args.timeout,
+        jobs=args.jobs, cache=args.cache_dir, stats=stats,
     )
     args.out.mkdir(parents=True, exist_ok=True)
     admin_path = args.out / "admin_dataset.json"
@@ -100,6 +133,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(render_report(bundle.joint, restoration=bundle.restoration_report))
     print(f"\nwrote {admin_path} ({n_admin} records)")
     print(f"wrote {op_path} ({n_op} records)")
+    if args.profile:
+        print()
+        print(stats.render())
     return 0
 
 
@@ -154,11 +190,38 @@ def _cmd_squat_hunt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_export_dumps(args: argparse.Namespace) -> int:
+    from .bgp.dumps import materialize_collector_dumps
+    from .simulation.world import WorldSimulator
+
+    config = WorldConfig(seed=args.seed, scale=args.scale)
+    world = WorldSimulator(config).run()
+    end = from_iso(args.end) if args.end else config.end_day
+    start = from_iso(args.start) if args.start else end - args.days + 1
+    start = max(start, config.start_day)
+    if end < start:
+        print(f"error: window end {to_iso(end)} precedes start {to_iso(start)}",
+              file=sys.stderr)
+        return 2
+    announcements = {
+        day: world.announcements_for_day(day) for day in range(start, end + 1)
+    }
+    written = materialize_collector_dumps(
+        world.topology, world.collectors, announcements, args.out,
+        start=start, end=end, executor=args.jobs,
+    )
+    for name, (files, elements) in written.items():
+        print(f"{name}: {files} files, {elements} elements")
+    print(f"wrote dumps for {len(written)} collectors under {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
     "export-mirror": _cmd_export_mirror,
     "squat-hunt": _cmd_squat_hunt,
+    "export-dumps": _cmd_export_dumps,
 }
 
 

@@ -15,11 +15,17 @@ the rule protects against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 from ..asn.numbers import ASN
 from ..bgp.messages import BgpElement
 from ..bgp.visibility import peer_visibility
+from ..runtime.executor import (
+    DEFAULT_CHUNK_SIZE,
+    ExecutorSpec,
+    chunked,
+    resolve_executor,
+)
 from ..timeline.dates import Day
 from ..timeline.intervals import IntervalSet
 from .records import BgpLifetime
@@ -73,27 +79,55 @@ def lifetimes_from_activity(
     ]
 
 
+def _bgp_chunk_task(
+    payload: Tuple[List[Tuple[ASN, OperationalActivity]], int, int, Day],
+) -> List[Tuple[ASN, List[BgpLifetime]]]:
+    """Segment one contiguous chunk of per-ASN activities.
+
+    Module-level (picklable) and pure in its payload, like every
+    pipeline fan-out task.
+    """
+    items, timeout, min_peers, end_day = payload
+    out: List[Tuple[ASN, List[BgpLifetime]]] = []
+    for asn, activity in items:
+        days = activity.active_days(min_peers=min_peers)
+        if not days:
+            continue
+        out.append(
+            (asn, lifetimes_from_activity(asn, days, timeout=timeout, end_day=end_day))
+        )
+    return out
+
+
 def build_bgp_lifetimes(
     activities: Mapping[ASN, OperationalActivity],
     *,
     timeout: int = DEFAULT_TIMEOUT,
     min_peers: int = 2,
     end_day: Day,
+    executor: ExecutorSpec = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> Dict[ASN, List[BgpLifetime]]:
     """Operational lifetimes for every active ASN.
 
     A lifetime is ``open_ended`` when it could still be running: its
     last activity falls within ``timeout`` days of the window end, so
     the segmentation cannot yet declare it over.
+
+    Per-ASN segmentation is independent, so the work fans out over
+    ASN-sorted chunks under any backend; the merged mapping is
+    ASN-sorted and identical across backends (see DESIGN.md).
     """
+    executor = resolve_executor(executor)
+    items = sorted(activities.items())
+    chunks = chunked(items, chunk_size)
+    results = executor.map(
+        _bgp_chunk_task,
+        [(chunk, timeout, min_peers, end_day) for chunk in chunks],
+    )
     out: Dict[ASN, List[BgpLifetime]] = {}
-    for asn, activity in activities.items():
-        days = activity.active_days(min_peers=min_peers)
-        if not days:
-            continue
-        out[asn] = lifetimes_from_activity(
-            asn, days, timeout=timeout, end_day=end_day
-        )
+    for result in results:
+        out.update(result)
     return out
 
 
@@ -112,8 +146,10 @@ def activity_from_elements(
     out: Dict[ASN, OperationalActivity] = {}
     observed_days: Dict[ASN, List[Day]] = {}
     single_days: Dict[ASN, List[Day]] = {}
-    for day, elements in elements_by_day.items():
-        for asn, peers in peer_visibility(elements).items():
+    # ascending day order makes the per-ASN day lists pre-sorted, so
+    # interval construction below skips its sort pass
+    for day in sorted(elements_by_day):
+        for asn, peers in peer_visibility(elements_by_day[day]).items():
             if len(peers) >= min_corroboration:
                 observed_days.setdefault(asn, []).append(day)
             elif len(peers) == 1:
@@ -121,7 +157,7 @@ def activity_from_elements(
     for asn in set(observed_days) | set(single_days):
         out[asn] = OperationalActivity(
             asn=asn,
-            observed=IntervalSet.from_days(observed_days.get(asn, [])),
-            single_peer=IntervalSet.from_days(single_days.get(asn, [])),
+            observed=IntervalSet.from_sorted_days(observed_days.get(asn, [])),
+            single_peer=IntervalSet.from_sorted_days(single_days.get(asn, [])),
         )
     return out

@@ -14,19 +14,15 @@ the paper.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict
 
 from ..rir.archive import Stint
-from ..timeline.dates import Day
+from ..timeline.intervals import Interval, IntervalSet
 from .compat import records_compatible
 from .report import RestorationReport
 from .view import RegistryView
 
 __all__ = ["bridge_unavailable_gaps"]
-
-
-def _all_unavailable(start: Day, end: Day, unavailable: Set[Day]) -> bool:
-    return all(day in unavailable for day in range(start, end + 1))
 
 
 def bridge_unavailable_gaps(
@@ -37,6 +33,10 @@ def bridge_unavailable_gaps(
     for registry, view in sorted(views.items()):
         if not view.unavailable_days:
             continue
+        # interval form of the outage days: the fully-unavailable test
+        # becomes one binary search instead of a per-day scan, so a
+        # month-long outage costs the same as a single missing file
+        unavailable = IntervalSet.from_days(view.unavailable_days)
         bridged = 0
         for asn, stints in view.stints.items():
             i = 0
@@ -46,7 +46,7 @@ def bridge_unavailable_gaps(
                 if (
                     gap_start <= gap_end
                     and records_compatible(left.record, right.record)
-                    and _all_unavailable(gap_start, gap_end, view.unavailable_days)
+                    and unavailable.covers(Interval(gap_start, gap_end))
                 ):
                     stints[i] = Stint(left.start, right.end, left.record)
                     del stints[i + 1]

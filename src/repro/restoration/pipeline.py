@@ -1,19 +1,32 @@
 """Orchestration of the six-step §3.1 restoration.
 
-``restore_archive`` runs the steps in order over per-registry views and
-returns a :class:`RestoredDelegations` — the cleaned, cross-registry
+``restore_archive`` runs the steps over per-registry views and returns
+a :class:`RestoredDelegations` — the cleaned, cross-registry
 observation timeline that §4.1 lifetime inference consumes — together
 with the :class:`RestorationReport` quantifying every repair.
+
+The work is organized registry-major: building a registry's view and
+running the five per-registry steps (same-day measurement, record
+recovery, gap bridging, duplicate resolution, date repair) touches only
+that registry's data, so each registry is one independent task a
+:class:`~repro.runtime.executor.PipelineExecutor` can fan out.  Only
+step (vi), :func:`clean_inter_rir_overlaps`, compares timelines
+*across* registries — it is the join barrier and always runs in the
+driver after every per-registry task has been merged back, in sorted
+registry order.  The same code path serves the serial backend, so
+parallel output is bit-identical by construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..asn.blocks import IanaLedger
 from ..asn.numbers import ASN
 from ..rir.archive import DelegationArchive, Stint
+from ..runtime.executor import ExecutorSpec, resolve_executor
+from ..runtime.profiling import PipelineStats
 from ..timeline.dates import Day
 from .duplicates import resolve_duplicate_records
 from .gaps import bridge_unavailable_gaps
@@ -56,11 +69,39 @@ class RestoredDelegations:
         return seen
 
 
+def _restore_registry_task(
+    payload: Tuple[str, RegistryView, Optional[Mapping[ASN, Day]]],
+) -> Tuple[str, RegistryView, RestorationReport]:
+    """Run the five per-registry §3.1 steps over one registry's view.
+
+    Module-level (picklable) and pure in its payload: the view is
+    mutated in place, but under a process pool that copy is private to
+    the worker and travels back in the return value.
+    """
+    registry, view, erx_reference = payload
+    report = RestorationReport()
+    views = {registry: view}
+    measure_sameday_divergence(views, report)
+    recover_dropped_records(views, report)
+    bridge_unavailable_gaps(views, report)
+    resolve_duplicate_records(views, report)
+    restore_registration_dates(views, report, erx_reference=erx_reference)
+    return registry, view, report
+
+
+def _build_view_task(payload: Tuple[DelegationArchive, str]) -> RegistryView:
+    """Materialize one registry's view (timelines + feed stitching)."""
+    archive, registry = payload
+    return build_registry_view(archive, registry)
+
+
 def restore_archive(
     archive: DelegationArchive,
     *,
     erx_reference: Optional[Mapping[ASN, Day]] = None,
     ledger: Optional[IanaLedger] = None,
+    executor: ExecutorSpec = None,
+    stats: Optional[PipelineStats] = None,
 ) -> tuple:
     """Run the full §3.1 restoration over an archive.
 
@@ -74,34 +115,55 @@ def restore_archive(
         repair placeholder dates.
     ledger:
         The IANA block ledger, used to spot mistaken allocations.
+    executor:
+        Execution backend (or spec) for the per-registry fan-out; the
+        default runs everything inline.  Output is bit-identical across
+        backends.
+    stats:
+        Optional :class:`PipelineStats` receiving per-stage timings.
 
     Returns
     -------
     (RestoredDelegations, RestorationReport)
     """
-    report = RestorationReport()
-    views: Dict[str, RegistryView] = {
-        registry: build_registry_view(archive, registry)
-        for registry in archive.registries()
-    }
+    executor = resolve_executor(executor)
+    stats = stats if stats is not None else PipelineStats()
+    registries = sorted(archive.registries())
 
-    # Step order mirrors §3.1: same-day resolution is implicit in the
+    with stats.stage("restore:views", items=len(registries)):
+        built = executor.map(
+            _build_view_task, [(archive, registry) for registry in registries]
+        )
+    views: Dict[str, RegistryView] = dict(zip(registries, built))
+
+    # Steps (i)-(v) are per-registry; step order inside each task
+    # mirrors §3.1: same-day resolution is implicit in the
     # authoritative view and measured first; record recovery must run
     # before gap bridging so that drops repaired from the regular feed
     # are not mistaken for file outages; duplicates are resolved before
-    # dates so date repair sees one row per day; inter-RIR cleanup runs
-    # last because it compares already-clean per-registry timelines.
-    measure_sameday_divergence(views, report)
-    recover_dropped_records(views, report)
-    bridge_unavailable_gaps(views, report)
-    resolve_duplicate_records(views, report)
-    restore_registration_dates(views, report, erx_reference=erx_reference)
-    clean_inter_rir_overlaps(views, report, ledger=ledger)
+    # dates so date repair sees one row per day.
+    report = RestorationReport()
+    with stats.stage("restore:per-registry", items=len(registries)):
+        results = executor.map(
+            _restore_registry_task,
+            [(registry, views[registry], erx_reference) for registry in registries],
+        )
+    for registry, view, worker_report in results:
+        views[registry] = view
+        report.merge(worker_report)
 
-    restored = RestoredDelegations(views=views, end_day=archive.end_day)
-    for view in views.values():
-        for asn, stints in view.stints.items():
-            restored.stints.setdefault(asn, []).extend(stints)
-    for stints in restored.stints.values():
-        stints.sort(key=lambda s: (s.start, s.end))
+    # Step (vi) compares already-clean per-registry timelines against
+    # each other — the cross-registry join barrier, serial by design.
+    with stats.stage("restore:inter-rir", items=len(views)):
+        clean_inter_rir_overlaps(views, report, ledger=ledger)
+
+    with stats.stage("restore:merge"):
+        for view in views.values():
+            view.prune_recovery_state()
+        restored = RestoredDelegations(views=views, end_day=archive.end_day)
+        for registry in registries:
+            for asn, stints in views[registry].stints.items():
+                restored.stints.setdefault(asn, []).extend(stints)
+        for stints in restored.stints.values():
+            stints.sort(key=lambda s: (s.start, s.end))
     return restored, report

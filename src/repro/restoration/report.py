@@ -47,6 +47,21 @@ class RestorationReport:
         self.steps.append(report)
         return report
 
+    def merge(self, other: "RestorationReport") -> None:
+        """Fold another report's counters and notes into this one.
+
+        Used by the parallel restoration driver: each per-registry
+        worker fills a private report, and the driver merges them in
+        sorted-registry order — reproducing exactly the counter layout
+        a serial, step-major run would have produced (every step
+        iterates registries in sorted order too).
+        """
+        for report in other.steps:
+            mine = self.step(report.step)
+            for key, value in report.counts.items():
+                mine.bump(key, value)
+            mine.notes.extend(report.notes)
+
     def summary(self) -> Dict[str, Dict[str, int]]:
         """step name → counter dict, for printing and assertions."""
         return {report.step: dict(report.counts) for report in self.steps}

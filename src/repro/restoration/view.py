@@ -43,6 +43,18 @@ class RegistryView:
     regular_last_day: Optional[Day] = None
     regular_unavailable_days: Set[Day] = field(default_factory=set)
 
+    def prune_recovery_state(self) -> None:
+        """Drop the regular-feed recovery data once restoration is done.
+
+        ``regular_stints`` is a full second timeline consulted only by
+        the §3.1 recovery steps (ii) and same-day measurement; after the
+        pipeline has run, keeping it roughly doubles the view's pickled
+        size for no consumer.  Downstream analyses read only the
+        authoritative ``stints`` and the window metadata.
+        """
+        self.regular_stints = {}
+        self.regular_unavailable_days = set()
+
 
 def _clip_stints(stints: List[Stint], lo: Day, hi: Day) -> List[Stint]:
     out = []

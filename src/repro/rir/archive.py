@@ -113,6 +113,17 @@ class DelegationArchive:
                 )
         self._timeline_cache: Dict[SourceKey, Dict[ASN, List[Stint]]] = {}
 
+    def __getstate__(self) -> dict:
+        """Pickle without the memoized timelines.
+
+        The cache is pure derived state: process-pool workers recompute
+        exactly the timelines they need, and stripping it keeps both
+        worker payloads and on-disk artifact-cache entries small.
+        """
+        state = self.__dict__.copy()
+        state["_timeline_cache"] = {}
+        return state
+
     # -- introspection -----------------------------------------------------
 
     @property

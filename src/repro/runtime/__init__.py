@@ -1,0 +1,50 @@
+"""Pipeline runtime: execution backends, artifact caching, profiling.
+
+The paper's real corpus (~930G RIB records, 107k ASNs over 6,350 days)
+is processed once and then queried forever; this package gives the
+reproduction pipeline the same operational shape.
+
+* :mod:`repro.runtime.executor` — pluggable serial / process-pool
+  backends with a determinism contract: parallel output is bit-identical
+  to serial output.
+* :mod:`repro.runtime.cache` — content-addressed on-disk artifacts so
+  an already-built world is loaded, not re-simulated.
+* :mod:`repro.runtime.profiling` — per-stage wall time and fan-out
+  width, surfaced through ``simulate --profile`` and the scaling
+  benchmark.
+"""
+
+from .cache import (
+    PIPELINE_VERSION,
+    ArtifactCache,
+    cache_key,
+    dumps_with_gc_paused,
+    fingerprint,
+    loads_with_gc_paused,
+)
+from .executor import (
+    DEFAULT_CHUNK_SIZE,
+    PipelineExecutor,
+    ProcessPoolBackend,
+    SerialExecutor,
+    chunked,
+    resolve_executor,
+)
+from .profiling import PipelineStats, StageTiming
+
+__all__ = [
+    "PIPELINE_VERSION",
+    "ArtifactCache",
+    "cache_key",
+    "dumps_with_gc_paused",
+    "fingerprint",
+    "loads_with_gc_paused",
+    "DEFAULT_CHUNK_SIZE",
+    "PipelineExecutor",
+    "ProcessPoolBackend",
+    "SerialExecutor",
+    "chunked",
+    "resolve_executor",
+    "PipelineStats",
+    "StageTiming",
+]

@@ -1,0 +1,167 @@
+"""Pluggable execution backends for the dataset pipeline.
+
+The pipeline's expensive stages are embarrassingly parallel along
+natural axes — per registry (archive views, the five per-registry
+restoration steps), per ASN chunk (lifetime inference), per collector
+(dump materialization).  :class:`PipelineExecutor` abstracts *how*
+those fan-outs run: :class:`SerialExecutor` runs them inline,
+:class:`ProcessPoolBackend` fans them out over worker processes.
+
+The determinism contract (see DESIGN.md) is that every backend yields
+**bit-identical** pipeline output:
+
+* ``map`` always returns results in input order, whatever order the
+  workers finished in;
+* work is split with :func:`chunked`, whose chunk boundaries depend
+  only on the item list and the fixed chunk size — never on the worker
+  count or on dict iteration order (callers sort their items first);
+* tasks are pure functions of their payload (workers never mutate
+  shared state), so merging chunk results in input order reproduces
+  the serial result exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor as _StdProcessPool
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+
+__all__ = [
+    "PipelineExecutor",
+    "SerialExecutor",
+    "ProcessPoolBackend",
+    "resolve_executor",
+    "chunked",
+    "DEFAULT_CHUNK_SIZE",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Items per chunk for per-ASN fan-outs.  Fixed (not derived from the
+#: worker count) so that chunk boundaries — and therefore merge order —
+#: are identical under every backend.
+DEFAULT_CHUNK_SIZE = 512
+
+ExecutorSpec = Union[None, int, str, "PipelineExecutor"]
+
+
+class PipelineExecutor:
+    """Base class: how a pipeline fan-out executes.
+
+    Subclasses implement :meth:`map`; everything else (context-manager
+    protocol, idempotent :meth:`close`) is shared.
+    """
+
+    name = "base"
+    jobs = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item, returning results in input order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+
+    def __enter__(self) -> "PipelineExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} jobs={self.jobs}>"
+
+
+class SerialExecutor(PipelineExecutor):
+    """Run every task inline, in order (the reference backend)."""
+
+    name = "serial"
+    jobs = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class ProcessPoolBackend(PipelineExecutor):
+    """Fan tasks out over a pool of worker processes.
+
+    The pool is created lazily on first use and reused across stages,
+    so one ``build_datasets`` run pays the worker start-up cost once.
+    Task functions and payloads must be picklable (all pipeline tasks
+    are module-level functions over plain dataclasses).
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        if jobs is not None and jobs < 2:
+            raise ValueError("ProcessPoolBackend needs at least 2 jobs")
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 2)
+        self._pool: Optional[_StdProcessPool] = None
+
+    def _ensure_pool(self) -> _StdProcessPool:
+        if self._pool is None:
+            self._pool = _StdProcessPool(max_workers=self.jobs)
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        items = list(items)
+        if not items:
+            return []
+        if len(items) == 1:
+            # avoid a pointless round-trip through the pool
+            return [fn(items[0])]
+        return list(self._ensure_pool().map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def resolve_executor(spec: ExecutorSpec = None) -> PipelineExecutor:
+    """Turn a user-facing spec into an executor.
+
+    Accepts ``None`` / ``0`` / ``1`` (serial), an integer job count
+    (process pool), the strings ``"serial"``, ``"process"`` or
+    ``"process:N"``, or an existing executor (returned unchanged).
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, PipelineExecutor):
+        return spec
+    if isinstance(spec, bool):  # bool is an int; reject it explicitly
+        raise TypeError("executor spec must be None, int, str or PipelineExecutor")
+    if isinstance(spec, int):
+        return SerialExecutor() if spec <= 1 else ProcessPoolBackend(spec)
+    if isinstance(spec, str):
+        if spec == "serial":
+            return SerialExecutor()
+        if spec == "process":
+            return ProcessPoolBackend()
+        if spec.startswith("process:"):
+            return ProcessPoolBackend(int(spec.split(":", 1)[1]))
+        raise ValueError(f"unknown executor spec {spec!r}")
+    raise TypeError("executor spec must be None, int, str or PipelineExecutor")
+
+
+def chunked(items: Iterable[T], size: int = DEFAULT_CHUNK_SIZE) -> List[List[T]]:
+    """Split items into contiguous chunks of at most ``size``.
+
+    Boundaries depend only on the item sequence and ``size`` — not on
+    the executor — which is what keeps parallel merges bit-identical to
+    serial runs.
+    """
+    if size < 1:
+        raise ValueError("chunk size must be >= 1")
+    out: List[List[T]] = []
+    chunk: List[T] = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) == size:
+            out.append(chunk)
+            chunk = []
+    if chunk:
+        out.append(chunk)
+    return out

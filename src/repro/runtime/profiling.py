@@ -1,0 +1,86 @@
+"""Per-stage wall-time and item-count accounting for pipeline runs.
+
+Historical-attribution services serve this workload with precomputation
+and caching; knowing *which* stage dominates is what makes that
+precomputation targeted.  A :class:`PipelineStats` is threaded through
+``build_datasets`` (and from there into the restoration and lifetime
+builders); every stage records wall time and how many items it fanned
+out over.  The CLI surfaces it via ``simulate --profile`` and the
+scaling benchmark persists it to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["StageTiming", "PipelineStats"]
+
+
+@dataclass
+class StageTiming:
+    """One stage's wall time and (optional) fan-out width."""
+
+    name: str
+    seconds: float
+    items: Optional[int] = None
+
+    def rate(self) -> Optional[float]:
+        """Items per second, when both are known."""
+        if self.items is None or self.seconds <= 0:
+            return None
+        return self.items / self.seconds
+
+
+@dataclass
+class PipelineStats:
+    """Ordered per-stage timings of one pipeline run."""
+
+    backend: str = "serial"
+    stages: List[StageTiming] = field(default_factory=list)
+
+    @contextmanager
+    def stage(self, name: str, items: Optional[int] = None) -> Iterator[StageTiming]:
+        """Time a stage; the yielded record can be given a late item count."""
+        timing = StageTiming(name=name, seconds=0.0, items=items)
+        start = time.perf_counter()
+        try:
+            yield timing
+        finally:
+            timing.seconds = time.perf_counter() - start
+            self.stages.append(timing)
+
+    def record(self, name: str, seconds: float, items: Optional[int] = None) -> None:
+        """Append an externally measured stage."""
+        self.stages.append(StageTiming(name=name, seconds=seconds, items=items))
+
+    def total_seconds(self) -> float:
+        return sum(stage.seconds for stage in self.stages)
+
+    def seconds_of(self, name: str) -> float:
+        """Total wall time of every stage with this name."""
+        return sum(s.seconds for s in self.stages if s.name == name)
+
+    def as_dict(self) -> Dict[str, float]:
+        """stage name → total seconds (stages repeating a name sum up)."""
+        out: Dict[str, float] = {}
+        for stage in self.stages:
+            out[stage.name] = out.get(stage.name, 0.0) + stage.seconds
+        return out
+
+    def render(self) -> str:
+        """Fixed-width table of stages, for terminals and result files."""
+        total = self.total_seconds()
+        lines = [
+            f"Pipeline profile ({self.backend} backend, {total:.3f}s total)",
+            f"{'stage':<28} {'seconds':>9} {'share':>7} {'items':>8}",
+        ]
+        for stage in self.stages:
+            share = stage.seconds / total if total > 0 else 0.0
+            items = "" if stage.items is None else str(stage.items)
+            lines.append(
+                f"{stage.name:<28} {stage.seconds:>9.3f} {share:>6.1%} {items:>8}"
+            )
+        return "\n".join(lines)

@@ -198,9 +198,11 @@ class BehaviorModel:
                 continue
             gap_start = rng.randint(start + 1, end - length)
             holes.append(Interval(gap_start, gap_start + length - 1))
+        # subtracting the union of holes in one pass is identical to an
+        # iterated per-hole difference (A \ h1 \ h2 = A \ (h1 ∪ h2))
         activity = IntervalSet([Interval(start, end)])
-        for hole in holes:
-            activity = activity.difference(IntervalSet([hole]))
+        if holes:
+            activity = activity.difference(IntervalSet(holes))
         return activity
 
     def _conference_activity(self, start: Day, end: Day) -> IntervalSet:

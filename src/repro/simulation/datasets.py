@@ -7,12 +7,20 @@ does, the §3.1 restoration undoes it, and the §4 builders emit the two
 lifetime datasets.  The returned bundle carries every intermediate
 artifact plus the ground truth, so analyses can be validated and not
 just run.
+
+The run itself goes through the :mod:`repro.runtime` subsystem: an
+executor fans the parallel stages out (per-registry restoration,
+per-ASN-chunk lifetime inference), a :class:`PipelineStats` records
+what each stage cost, and an :class:`ArtifactCache` lets an identical
+configuration skip the rebuild entirely — the pipeline equivalent of
+serving historical queries from precomputed state.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from ..asn.numbers import ASN
 from ..core.joint import JointAnalysis
@@ -23,15 +31,47 @@ from ..restoration.pipeline import RestoredDelegations, restore_archive
 from ..restoration.report import RestorationReport
 from ..rir.archive import DelegationArchive
 from ..rir.pitfalls import InjectedDefect, PitfallConfig, PitfallInjector
+from ..runtime.cache import (
+    ArtifactCache,
+    dumps_with_gc_paused,
+    loads_with_gc_paused,
+)
+from ..runtime.executor import ExecutorSpec, resolve_executor
+from ..runtime.profiling import PipelineStats
 from .config import WorldConfig, tiny
 from .world import World, WorldSimulator
 
 __all__ = ["DatasetBundle", "build_datasets"]
 
+#: The independently cacheable components of a bundle, in build order.
+_BUNDLE_PARTS = (
+    "world",
+    "archive",
+    "injected_defects",
+    "restored",
+    "restoration_report",
+    "admin_lives",
+    "op_lives",
+)
+
+#: Format tag of partitioned cache entries (see ``_to_parts``).
+_PARTS_FORMAT = "dataset-bundle-parts/v1"
+
 
 @dataclass
 class DatasetBundle:
-    """Everything one experiment run produces."""
+    """Everything one experiment run produces.
+
+    Bundles loaded from the artifact cache are *partitioned*: each
+    component stays a pickled blob until first attribute access (see
+    :meth:`_from_parts`), so a warm cache hit costs file I/O plus only
+    the components the caller actually touches — an analysis reading
+    ``admin_lives``/``op_lives`` never pays for decoding the full
+    simulated world.  A decoded component is indistinguishable from an
+    eagerly built one (same pickle round-trip), though components no
+    longer share object identity across part boundaries (``world`` and
+    ``archive`` hold equal-but-distinct registry objects).
+    """
 
     world: World
     archive: DelegationArchive
@@ -51,6 +91,38 @@ class DatasetBundle:
             siblings=self.world.orgs.sibling_map(),
             truth=self.world.events,
         )
+
+    def __getattr__(self, name: str):
+        # Reached only for attributes missing from the instance: on a
+        # partitioned bundle these are the not-yet-decoded parts and
+        # the derived joint analysis.
+        parts = object.__getattribute__(self, "__dict__").get("_parts")
+        if parts is not None:
+            blob = parts.pop(name, None)
+            if blob is not None:
+                value = loads_with_gc_paused(blob)
+                setattr(self, name, value)
+                return value
+            if name == "joint":
+                self.__post_init__()
+                return self.joint
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def _to_parts(self) -> Dict[str, bytes]:
+        """Pickle each component separately (the cache-entry payload)."""
+        return {
+            name: dumps_with_gc_paused(getattr(self, name))
+            for name in _BUNDLE_PARTS
+        }
+
+    @classmethod
+    def _from_parts(cls, parts: Dict[str, bytes]) -> "DatasetBundle":
+        """Wrap pickled components without decoding any of them yet."""
+        bundle = cls.__new__(cls)
+        bundle.__dict__["_parts"] = dict(parts)
+        return bundle
 
     def registry_of(self) -> Dict[ASN, str]:
         """ASN → final registry (for the per-RIR tables)."""
@@ -73,6 +145,30 @@ class DatasetBundle:
         )
 
 
+def _bundle_cache_key(
+    cache: ArtifactCache,
+    config: WorldConfig,
+    *,
+    inject_pitfalls: bool,
+    pitfall_config: Optional[PitfallConfig],
+    timeout: int,
+    min_peers: int,
+) -> str:
+    """The content address of one bundle: every input that shapes it."""
+    return cache.key_for(
+        artifact="dataset-bundle",
+        config=config,
+        inject_pitfalls=inject_pitfalls,
+        pitfall_config=(
+            (pitfall_config if pitfall_config is not None else PitfallConfig())
+            if inject_pitfalls
+            else None
+        ),
+        timeout=timeout,
+        min_peers=min_peers,
+    )
+
+
 def build_datasets(
     config: Optional[WorldConfig] = None,
     *,
@@ -80,42 +176,141 @@ def build_datasets(
     pitfall_config: Optional[PitfallConfig] = None,
     timeout: int = 30,
     min_peers: int = 2,
+    jobs: Optional[int] = None,
+    executor: ExecutorSpec = None,
+    cache: Union[ArtifactCache, str, Path, None] = None,
+    stats: Optional[PipelineStats] = None,
 ) -> DatasetBundle:
-    """Run the full pipeline for one world configuration."""
+    """Run the full pipeline for one world configuration.
+
+    Parameters
+    ----------
+    jobs:
+        Shorthand executor spec: ``None``/``0``/``1`` runs serially,
+        ``N >= 2`` fans parallel stages out over ``N`` worker
+        processes.  Ignored when ``executor`` is given.
+    executor:
+        An explicit :class:`~repro.runtime.executor.PipelineExecutor`
+        (or spec string) to run the parallel stages on.  Output is
+        bit-identical across backends.
+    cache:
+        An :class:`~repro.runtime.cache.ArtifactCache` (or a cache
+        directory path).  A warm hit skips simulation, injection,
+        restoration, and lifetime inference entirely and returns a
+        partitioned bundle whose components are decoded on first
+        access; a finished build is stored for the next caller.
+    stats:
+        Optional :class:`~repro.runtime.profiling.PipelineStats`
+        collecting per-stage wall times and item counts.
+    """
     if config is None:
         config = tiny()
-    world = WorldSimulator(config).run()
+    if cache is not None and not isinstance(cache, ArtifactCache):
+        cache = ArtifactCache(cache)
+    stats = stats if stats is not None else PipelineStats()
 
-    clean = DelegationArchive(world.registries, config.end_day)
-    windows = {w.source: (w.first_day, w.last_day) for w in clean.sources()}
-    defects: List[InjectedDefect] = []
-    if inject_pitfalls:
-        injector = PitfallInjector(
-            world.registries,
-            config.end_day,
-            seed=config.seed + 6,
-            config=pitfall_config if pitfall_config is not None else PitfallConfig(),
+    key: Optional[str] = None
+    if cache is not None:
+        key = _bundle_cache_key(
+            cache,
+            config,
+            inject_pitfalls=inject_pitfalls,
+            pitfall_config=pitfall_config,
+            timeout=timeout,
+            min_peers=min_peers,
         )
-        overlay = injector.inject_all(windows, world.transfers)
-        defects = injector.truth
-        archive = DelegationArchive(world.registries, config.end_day, overlay)
-    else:
-        archive = clean
+        with stats.stage("cache:lookup") as timing:
+            artifact = cache.load(key)
+        if artifact is not None:
+            timing.items = 1
+            if (
+                isinstance(artifact, dict)
+                and artifact.get("format") == _PARTS_FORMAT
+            ):
+                return DatasetBundle._from_parts(artifact["parts"])
+            return artifact
+
+    spec = executor if executor is not None else jobs
+    executor = resolve_executor(spec)
+    owns_executor = executor is not spec
+    stats.backend = executor.name
+    try:
+        bundle = _build(
+            config, executor, stats,
+            inject_pitfalls=inject_pitfalls, pitfall_config=pitfall_config,
+            timeout=timeout, min_peers=min_peers,
+        )
+    finally:
+        if owns_executor:
+            executor.close()
+
+    if cache is not None and key is not None:
+        with stats.stage("cache:store"):
+            cache.store(
+                key, {"format": _PARTS_FORMAT, "parts": bundle._to_parts()}
+            )
+    return bundle
+
+
+def _build(
+    config: WorldConfig,
+    executor,
+    stats: PipelineStats,
+    *,
+    inject_pitfalls: bool,
+    pitfall_config: Optional[PitfallConfig],
+    timeout: int,
+    min_peers: int,
+) -> DatasetBundle:
+    """The uncached pipeline body (world → archive → restore → lifetimes)."""
+    with stats.stage("simulate") as timing:
+        world = WorldSimulator(config).run()
+        timing.items = len(world.lives)
+
+    with stats.stage("archive") as timing:
+        clean = DelegationArchive(world.registries, config.end_day)
+        windows = {w.source: (w.first_day, w.last_day) for w in clean.sources()}
+        defects: List[InjectedDefect] = []
+        if inject_pitfalls:
+            injector = PitfallInjector(
+                world.registries,
+                config.end_day,
+                seed=config.seed + 6,
+                config=pitfall_config if pitfall_config is not None else PitfallConfig(),
+            )
+            overlay = injector.inject_all(windows, world.transfers)
+            defects = injector.truth
+            archive = DelegationArchive(world.registries, config.end_day, overlay)
+        else:
+            archive = clean
+        timing.items = len(defects)
 
     restored, report = restore_archive(
-        archive, erx_reference=world.erx_reference, ledger=world.ledger
+        archive,
+        erx_reference=world.erx_reference,
+        ledger=world.ledger,
+        executor=executor,
+        stats=stats,
     )
-    admin_lives = build_admin_lifetimes(restored)
-    op_lives = build_bgp_lifetimes(
-        world.activities, timeout=timeout, min_peers=min_peers,
-        end_day=config.end_day,
-    )
-    return DatasetBundle(
-        world=world,
-        archive=archive,
-        injected_defects=defects,
-        restored=restored,
-        restoration_report=report,
-        admin_lives=admin_lives,
-        op_lives=op_lives,
-    )
+
+    with stats.stage("admin-lifetimes") as timing:
+        admin_lives = build_admin_lifetimes(restored, executor=executor)
+        timing.items = len(admin_lives)
+    with stats.stage("bgp-lifetimes") as timing:
+        op_lives = build_bgp_lifetimes(
+            world.activities, timeout=timeout, min_peers=min_peers,
+            end_day=config.end_day, executor=executor,
+        )
+        timing.items = len(op_lives)
+
+    with stats.stage("assemble"):
+        bundle = DatasetBundle(
+            world=world,
+            archive=archive,
+            injected_defects=defects,
+            restored=restored,
+            restoration_report=report,
+            admin_lives=admin_lives,
+            op_lives=op_lives,
+        )
+    return bundle

@@ -90,20 +90,36 @@ class World:
     prefixes: PrefixPlan
     factories: List[ASN]
 
+    #: Memoized views over ``lives``.  The ground truth is immutable
+    #: once assembled, but analyses hit these accessors repeatedly (per
+    #: figure, per ablation), so rebuilding and re-sorting the full map
+    #: on every call is pure waste.  Excluded from equality; treat the
+    #: returned structures as read-only.
+    _ever_allocated: Optional[Set[ASN]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _lives_by_asn: Optional[Dict[ASN, List[TrueLife]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
     @property
     def end_day(self) -> Day:
         return self.config.end_day
 
     def ever_allocated(self) -> Set[ASN]:
-        return {life.asn for life in self.lives}
+        if self._ever_allocated is None:
+            self._ever_allocated = {life.asn for life in self.lives}
+        return self._ever_allocated
 
     def lives_by_asn(self) -> Dict[ASN, List[TrueLife]]:
-        out: Dict[ASN, List[TrueLife]] = {}
-        for life in self.lives:
-            out.setdefault(life.asn, []).append(life)
-        for group in out.values():
-            group.sort(key=lambda l: l.start)
-        return out
+        if self._lives_by_asn is None:
+            out: Dict[ASN, List[TrueLife]] = {}
+            for life in self.lives:
+                out.setdefault(life.asn, []).append(life)
+            for group in out.values():
+                group.sort(key=lambda l: l.start)
+            self._lives_by_asn = out
+        return self._lives_by_asn
 
     def announcements_for_day(self, day: Day) -> List[Announcement]:
         """Message-level view: everything announced on one day.
@@ -525,7 +541,7 @@ class WorldSimulator:
         config = self.config
         behavior_rng = random.Random(config.seed + 1)
         model = BehaviorModel(config, behavior_rng)
-        legit_activity: Dict[ASN, IntervalSet] = {}
+        legit_parts: Dict[ASN, List[IntervalSet]] = {}
         spurious: Dict[ASN, IntervalSet] = {}
 
         for life in self.lives:
@@ -547,14 +563,17 @@ class WorldSimulator:
             life.behavior = behavior
             clamped = behavior.activity.clamp(config.start_day, config.end_day)
             if clamped:
-                existing = legit_activity.get(life.asn)
-                legit_activity[life.asn] = (
-                    clamped if existing is None else existing.union(clamped)
-                )
+                legit_parts.setdefault(life.asn, []).append(clamped)
             if behavior_rng.random() < config.spurious_rate:
                 spurious[life.asn] = model.spurious_days(
                     config.start_day, config.end_day
                 )
+
+        # one k-way normalize per ASN instead of a pairwise union fold
+        legit_activity: Dict[ASN, IntervalSet] = {
+            asn: parts[0] if len(parts) == 1 else IntervalSet.union_all(parts)
+            for asn, parts in legit_parts.items()
+        }
 
         topology, collectors, factories, big_transits = self._build_infrastructure()
         planner = self._plan_anomalies(factories, big_transits)

@@ -124,21 +124,71 @@ class IntervalSet:
         This is how daily BGP activity observations are turned into raw
         activity spans before timeout segmentation.
         """
+        return cls.from_sorted_days(sorted(set(days)))
+
+    @classmethod
+    def from_sorted_days(cls, days: Sequence[Day]) -> "IntervalSet":
+        """Build from days already in ascending order.
+
+        Skips the ``sorted(set(...))`` pass of :meth:`from_days` — the
+        per-day pipelines iterate days in order, so re-sorting their
+        output is pure overhead at scale.  Duplicates are tolerated
+        (adjacent equal days collapse); a descending pair raises.
+        """
         out = cls()
-        sorted_days = sorted(set(days))
-        if not sorted_days:
+        if not days:
             return out
         ivs: List[Interval] = []
-        run_start = prev = sorted_days[0]
-        for d in sorted_days[1:]:
-            if d == prev + 1:
+        run_start = prev = days[0]
+        for d in days[1:]:
+            if d == prev or d == prev + 1:
                 prev = d
                 continue
+            if d < prev:
+                raise ValueError("from_sorted_days requires ascending days")
             ivs.append(Interval(run_start, prev))
             run_start = prev = d
         ivs.append(Interval(run_start, prev))
         out._ivs = ivs
         return out
+
+    @classmethod
+    def union_all(cls, sets: Iterable["IntervalSet"]) -> "IntervalSet":
+        """Union of many sets in one k-way normalize.
+
+        Folding ``a.union(b).union(c)...`` re-sorts and re-merges the
+        accumulated intervals at every step (quadratic in the number of
+        sets); collecting everything and normalizing once is a single
+        O(n log n) pass.
+        """
+        ivs: List[Interval] = []
+        for s in sets:
+            ivs.extend(s._ivs)
+        return cls(ivs)
+
+    @classmethod
+    def _from_flat(cls, flat: Tuple[Day, ...]) -> "IntervalSet":
+        """Rebuild from the flat ``(start, end, start, end, ...)`` form.
+
+        Pickle counterpart of :meth:`__reduce__`; trusts the encoded
+        intervals to be canonical (they came from a live set) and skips
+        normalization.
+        """
+        out = cls.__new__(cls)
+        it = iter(flat)
+        out._ivs = [Interval(s, e) for s, e in zip(it, it)]
+        return out
+
+    def __reduce__(self):
+        # Pickle as a flat int tuple instead of a list of Interval
+        # objects: dataset bundles hold tens of thousands of interval
+        # sets, and skipping the per-Interval object overhead makes
+        # cached artifacts ~2x smaller and measurably faster to load.
+        flat: List[Day] = []
+        for iv in self._ivs:
+            flat.append(iv.start)
+            flat.append(iv.end)
+        return (IntervalSet._from_flat, (tuple(flat),))
 
     # -- basic protocol ------------------------------------------------
 
@@ -188,6 +238,26 @@ class IntervalSet:
                 lo = mid + 1
             else:
                 return True
+        return False
+
+    def covers(self, iv: Interval) -> bool:
+        """True when every day of ``iv`` is in the set.
+
+        Because the representation is merged, a covered span must lie
+        inside a *single* stored interval, so this is one binary search
+        — O(log n) against the O(duration) of a day-by-day membership
+        scan.
+        """
+        lo, hi = 0, len(self._ivs) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            candidate = self._ivs[mid]
+            if iv.start < candidate.start:
+                hi = mid - 1
+            elif iv.start > candidate.end:
+                lo = mid + 1
+            else:
+                return iv.end <= candidate.end
         return False
 
     # -- algebra -------------------------------------------------------

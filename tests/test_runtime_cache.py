@@ -1,0 +1,121 @@
+"""Tests for the content-addressed artifact cache (repro.runtime.cache).
+
+The properties under test are the ones the pipeline relies on: equal
+inputs address the same entry, *any* changed input (including the
+pipeline version tag) addresses a different one, and corrupt entries
+degrade to misses instead of poisoning later runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.rir.pitfalls import PitfallConfig
+from repro.runtime import PIPELINE_VERSION, ArtifactCache, cache_key, fingerprint
+from repro.simulation.config import tiny
+
+
+@dataclass
+class _Cfg:
+    x: int = 1
+    tag: str = "a"
+
+
+class TestFingerprint:
+    def test_dataclass_includes_class_name(self):
+        fp = fingerprint(_Cfg())
+        assert fp["__class__"] == "_Cfg"
+        assert fp["x"] == 1
+
+    def test_dict_key_order_is_canonical(self):
+        assert fingerprint({"b": 2, "a": 1}) == fingerprint({"a": 1, "b": 2})
+
+    def test_tuples_and_sets_canonicalize(self):
+        assert fingerprint((1, 2)) == [1, 2]
+        assert fingerprint({3, 1, 2}) == [1, 2, 3]
+
+    def test_world_config_is_fingerprintable(self):
+        fp = fingerprint(tiny())
+        assert fp["__class__"] == "WorldConfig"
+
+    def test_pitfall_config_is_fingerprintable(self):
+        assert fingerprint(PitfallConfig())["__class__"] == "PitfallConfig"
+
+    def test_rejects_non_canonical_values(self):
+        with pytest.raises(TypeError):
+            fingerprint(lambda: None)
+
+
+class TestCacheKey:
+    def test_stable_across_kwarg_order(self):
+        assert cache_key(a=1, b=2) == cache_key(b=2, a=1)
+
+    def test_differs_on_value_change(self):
+        assert cache_key(a=1) != cache_key(a=2)
+
+    def test_differs_on_config_change(self):
+        assert cache_key(config=_Cfg(x=1)) != cache_key(config=_Cfg(x=2))
+
+
+class TestArtifactCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key_for(artifact="t", n=1)
+        assert cache.load(key) is None
+        cache.store(key, {"payload": [1, 2, 3]})
+        assert key in cache
+        assert cache.load(key) == {"payload": [1, 2, 3]}
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_key_for_includes_version_tag(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        implicit = cache.key_for(artifact="t")
+        explicit = cache.key_for(artifact="t", pipeline_version=PIPELINE_VERSION)
+        bumped = cache.key_for(artifact="t", pipeline_version="9999.99-1")
+        assert implicit == explicit
+        assert implicit != bumped
+
+    def test_config_change_invalidates(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        base = tiny()
+        key = cache.key_for(artifact="bundle", config=base)
+        cache.store(key, "built-for-base")
+        changed = tiny(seed=base.seed + 1)
+        assert cache.load(cache.key_for(artifact="bundle", config=changed)) is None
+        assert cache.load(key) == "built-for-base"
+
+    def test_get_or_build_builds_once(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key_for(artifact="t")
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return "artifact"
+
+        assert cache.get_or_build(key, builder) == "artifact"
+        assert cache.get_or_build(key, builder) == "artifact"
+        assert len(calls) == 1
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key_for(artifact="t")
+        cache.store(key, "ok")
+        cache.path_for(key).write_bytes(b"not a pickle")
+        assert cache.load(key) is None
+        assert key not in cache
+
+    def test_store_leaves_no_temp_files(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store(cache.key_for(artifact="t"), list(range(100)))
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_store_overwrites_atomically(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key_for(artifact="t")
+        cache.store(key, "v1")
+        cache.store(key, "v2")
+        assert cache.load(key) == "v2"

@@ -1,0 +1,144 @@
+"""Tests for the pluggable execution backends (repro.runtime.executor).
+
+The contract under test is the determinism clause: ``map`` preserves
+input order on every backend, and :func:`chunked` boundaries depend
+only on the item list and the chunk size — never on the backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import (
+    DEFAULT_CHUNK_SIZE,
+    PipelineExecutor,
+    ProcessPoolBackend,
+    SerialExecutor,
+    chunked,
+    resolve_executor,
+)
+
+
+def _square(x: int) -> int:  # module-level so the process pool can pickle it
+    return x * x
+
+
+class TestSerialExecutor:
+    def test_map_preserves_order(self):
+        ex = SerialExecutor()
+        assert ex.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_map_empty(self):
+        assert SerialExecutor().map(_square, []) == []
+
+    def test_context_manager(self):
+        with SerialExecutor() as ex:
+            assert ex.map(_square, [2]) == [4]
+
+    def test_close_is_idempotent(self):
+        ex = SerialExecutor()
+        ex.close()
+        ex.close()
+
+
+class TestProcessPoolBackend:
+    def test_map_preserves_order(self):
+        with ProcessPoolBackend(2) as ex:
+            assert ex.map(_square, list(range(10))) == [i * i for i in range(10)]
+
+    def test_single_item_runs_inline(self):
+        ex = ProcessPoolBackend(2)
+        try:
+            assert ex.map(_square, [7]) == [49]
+            # the single-item shortcut must not have spun up the pool
+            assert ex._pool is None
+        finally:
+            ex.close()
+
+    def test_empty_map(self):
+        ex = ProcessPoolBackend(2)
+        try:
+            assert ex.map(_square, []) == []
+        finally:
+            ex.close()
+
+    def test_pool_reused_across_stages(self):
+        with ProcessPoolBackend(2) as ex:
+            ex.map(_square, [1, 2, 3])
+            pool = ex._pool
+            ex.map(_square, [4, 5, 6])
+            assert ex._pool is pool
+
+    def test_rejects_single_job(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(1)
+
+    def test_close_releases_pool(self):
+        ex = ProcessPoolBackend(2)
+        ex.map(_square, [1, 2])
+        ex.close()
+        assert ex._pool is None
+        ex.close()  # idempotent
+
+
+class TestResolveExecutor:
+    def test_none_is_serial(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+
+    @pytest.mark.parametrize("spec", [0, 1, "serial"])
+    def test_serial_specs(self, spec):
+        assert isinstance(resolve_executor(spec), SerialExecutor)
+
+    def test_int_spec_sets_jobs(self):
+        ex = resolve_executor(3)
+        assert isinstance(ex, ProcessPoolBackend)
+        assert ex.jobs == 3
+        ex.close()
+
+    def test_process_string_spec(self):
+        ex = resolve_executor("process:4")
+        assert isinstance(ex, ProcessPoolBackend)
+        assert ex.jobs == 4
+        ex.close()
+
+    def test_existing_executor_passes_through(self):
+        ex = SerialExecutor()
+        assert resolve_executor(ex) is ex
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_executor(True)
+
+    def test_unknown_string_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_executor("threads")
+
+    def test_base_class_map_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            PipelineExecutor().map(_square, [1])
+
+
+class TestChunked:
+    def test_even_split(self):
+        assert chunked([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_ragged_tail(self):
+        assert chunked([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+
+    def test_empty(self):
+        assert chunked([], 3) == []
+
+    def test_size_larger_than_input(self):
+        assert chunked([1, 2], 10) == [[1, 2]]
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            chunked([1], 0)
+
+    def test_boundaries_independent_of_backend(self):
+        # the same item list always chunks the same way; only the item
+        # list and the size matter (the determinism contract)
+        items = list(range(1337))
+        assert chunked(items) == chunked(items, DEFAULT_CHUNK_SIZE)
+        flat = [x for chunk in chunked(items, 100) for x in chunk]
+        assert flat == items
