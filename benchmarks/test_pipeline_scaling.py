@@ -14,8 +14,11 @@ from __future__ import annotations
 import os
 from time import perf_counter
 
+from repro.lifetimes.bgp import build_operational_dataset
 from repro.runtime import ArtifactCache, PipelineStats
 from repro.simulation import bench, build_datasets
+from repro.simulation.config import tiny
+from repro.simulation.world import WorldSimulator
 
 from conftest import CACHE_DIR
 
@@ -81,3 +84,100 @@ def test_pipeline_scaling(record_result):
         f"{'cold/warm cache speedup':<28} {cache_speedup:>9.2f}x",
     ]
     record_result("pipeline_scaling", "\n".join(lines))
+
+
+#: Stages the columnar activity engine replaces (segmentation and cache
+#: I/O are shared between engines and excluded from the speedup).
+_ACTIVITY_STAGES = ("bgp:stream", "bgp:sanitize", "bgp:visibility")
+
+
+def _activity_stage_seconds(stats: PipelineStats) -> float:
+    return sum(stats.seconds_of(name) for name in _ACTIVITY_STAGES)
+
+
+def test_bgp_activity_scaling(record_result):
+    """Columnar vs. object-stream BGP activity: speed, determinism, cache.
+
+    One tiny-scale world, a ~6-month message-level window.  The
+    assertions pin the PR 2 acceptance criteria: the columnar engine's
+    stream+sanitize+visibility stages are >= 3x faster than the
+    object-stream baseline, both engines (and both executor backends)
+    produce byte-identical tables and lifetimes, and a warm
+    activity-table cache hit skips the stream stages entirely.
+    """
+    world = WorldSimulator(tiny(seed=2021)).run()
+    end = world.config.end_day
+    start = end - 179
+    window = dict(start=start, end=end)
+
+    object_stats = PipelineStats()
+    t0 = perf_counter()
+    object_lives, object_tables = build_operational_dataset(
+        world, engine="object", stats=object_stats, **window,
+    )
+    object_seconds = perf_counter() - t0
+
+    columnar_stats = PipelineStats()
+    t0 = perf_counter()
+    columnar_lives, columnar_tables = build_operational_dataset(
+        world, engine="columnar", stats=columnar_stats, **window,
+    )
+    columnar_seconds = perf_counter() - t0
+
+    parallel_stats = PipelineStats()
+    t0 = perf_counter()
+    parallel_lives, parallel_tables = build_operational_dataset(
+        world, engine="columnar", executor=2, day_chunk=30,
+        stats=parallel_stats, **window,
+    )
+    parallel_seconds = perf_counter() - t0
+
+    # determinism: engines and backends agree exactly, ordering included
+    assert columnar_tables == object_tables
+    assert columnar_lives == object_lives
+    assert list(columnar_lives) == list(object_lives)
+    assert parallel_tables == columnar_tables
+    assert parallel_lives == columnar_lives
+
+    stage_speedup = (
+        _activity_stage_seconds(object_stats)
+        / _activity_stage_seconds(columnar_stats)
+    )
+    assert stage_speedup >= 3, (
+        f"columnar stream+visibility only {stage_speedup:.1f}x faster than "
+        f"the object stream"
+    )
+
+    # warm activity-table hit: ensure the entry exists, then time a
+    # pure hit — it must skip stream/sanitize/visibility entirely
+    cache = ArtifactCache(CACHE_DIR)
+    build_operational_dataset(world, cache=cache, **window)
+    warm_stats = PipelineStats()
+    t0 = perf_counter()
+    warm_lives, _ = build_operational_dataset(
+        world, cache=cache, stats=warm_stats, **window,
+    )
+    warm_seconds = perf_counter() - t0
+    assert cache.hits >= 1
+    assert [s.name for s in warm_stats.stages] == [
+        "cache:lookup", "bgp:segment",
+    ]
+    assert warm_lives == columnar_lives
+
+    cache_speedup = columnar_seconds / warm_seconds
+    lines = [
+        f"window: {end - start + 1} days, {len(columnar_tables)} active ASNs, "
+        f"host CPUs: {os.cpu_count()}",
+        "",
+        columnar_stats.compare(
+            object_stats, label="columnar", baseline_label="object",
+        ),
+        "",
+        f"{'object stream (serial)':<28} {object_seconds:>9.3f}s",
+        f"{'columnar (serial)':<28} {columnar_seconds:>9.3f}s",
+        f"{'columnar (--jobs 2)':<28} {parallel_seconds:>9.3f}s",
+        f"{'warm activity-table hit':<28} {warm_seconds:>9.3f}s",
+        f"{'stage speedup (col/obj)':<28} {stage_speedup:>9.2f}x",
+        f"{'cold/warm cache speedup':<28} {cache_speedup:>9.2f}x",
+    ]
+    record_result("bgp_activity", "\n".join(lines))

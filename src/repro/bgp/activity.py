@@ -1,0 +1,796 @@
+"""Columnar BGP activity engine: interned paths, peer bitsets, day diffs.
+
+The object pipeline (§3.2 → §4.2) materializes one :class:`BgpElement`
+per (collector, peer, announcement) per day and rebuilds
+``Dict[ASN, Set[ASN]]`` visibility maps from scratch every day, even
+though consecutive days share almost all announcements.  This engine
+exploits that redundancy the way long-lived BGP studies diff snapshots
+instead of re-reading them:
+
+* **Path interning** — every propagated AS path is interned once in a
+  :class:`~repro.bgp.stream.PathTable`; the distinct ASNs it makes
+  visible and its sanitizer verdict (loop) are computed at intern time
+  and read back by dense id.
+* **Contribution interning** — an announcement's entire sanitized
+  element fan-out (which (path id, peer) pairs survive §3.2, how many
+  elements each drop reason removes) is a pure function of the
+  announcement under a static topology, so it is computed once and
+  replayed as flat integer arrays.
+* **Incremental day diffing** — each day's announcement multiset is
+  diffed against the previous day's; only the (path, peer) pairs that
+  appear or disappear touch the counters, and only ASNs whose
+  supporting paths changed have their visibility class re-derived.
+  When a day replaces more than ``full_rebuild_fraction`` of the live
+  announcements (a topology-scale shift), the engine falls back to a
+  full recompute of the counters — by construction this yields the
+  same classes, so the fallback is a performance valve, not a
+  semantics switch.
+* **Peer bitset counters** — per-ASN visibility is an integer row of
+  live-pair counts per peer slot plus a running visible-peer count; a
+  day is classified (observed / single-peer / silent) by comparing
+  that count to the threshold, with no set churn.
+
+Output is **byte-identical** to the object path: for every day in the
+window, the engine's per-ASN classes equal what
+``peer_visibility(sanitize(stream.elements_for_day(day)))`` derives
+(announce updates duplicate RIB pairs and withdrawals carry no path,
+so only the RIB pass shapes visibility).  The equivalence is pinned by
+property tests and by the scaling benchmark's determinism asserts.
+
+Per-day/per-chunk work fans out over the :mod:`repro.runtime`
+executors under the usual determinism contract: the day range is split
+into fixed-size chunks (boundaries never depend on the worker count),
+each worker replays its chunk from the announcement multiset live at
+the chunk's first day, and per-ASN activity runs are merged back in
+chunk order, coalescing runs that span a boundary.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import Counter
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..asn.numbers import ASN
+from ..runtime.executor import ExecutorSpec, resolve_executor
+from ..timeline.dates import Day
+from ..timeline.intervals import Interval, IntervalSet
+from .collector import Collector, all_peer_asns
+from .messages import BgpElement  # noqa: F401  (re-exported shape reference)
+from .sanitize import REASON_LOOP, REASON_PREFIX_LENGTH
+from .stream import Announcement, PathOracle, PathTable, decorate_path
+from .topology import AsTopology
+from .visibility import DEFAULT_MIN_PEERS
+
+__all__ = [
+    "DEFAULT_DAY_CHUNK",
+    "DEFAULT_REBUILD_FRACTION",
+    "Contribution",
+    "ContributionIndex",
+    "ActivityEngine",
+    "ActivityReport",
+    "AnnouncementSchedule",
+    "DayVisibility",
+    "day_visibility",
+    "schedule_from_day_source",
+    "schedule_from_world",
+    "build_activity_tables",
+    "build_world_activity_tables",
+]
+
+#: Days per executor chunk.  Fixed (never derived from the worker
+#: count) so chunk boundaries — and therefore the merged output — are
+#: identical under every backend.
+DEFAULT_DAY_CHUNK = 512
+
+#: When one day's diff replaces more than this fraction of the live
+#: announcement multiset, rebuild the counters from scratch instead of
+#: applying the diff (see the module docstring).
+DEFAULT_REBUILD_FRACTION = 0.5
+
+#: Multiset as (announcement, count) pairs — the picklable form used in
+#: schedules and executor payloads.
+_Items = List[Tuple[Announcement, int]]
+
+
+@dataclass(frozen=True)
+class Contribution:
+    """One announcement's sanitized element fan-out, computed once.
+
+    ``pairs`` holds the surviving (path id, peer index) pairs packed as
+    ``pid * n_peers + peer_index`` — distinct and sorted, since
+    visibility is idempotent in duplicate elements.  ``kept`` and
+    ``dropped`` count the elements one RIB pass of the object stream
+    would have materialized, so sanitize accounting stays exact.
+    """
+
+    pairs: Tuple[int, ...]
+    kept: int
+    dropped: Tuple[Tuple[str, int], ...]
+
+    @property
+    def elements(self) -> int:
+        """Elements of one RIB pass (kept + dropped)."""
+        return self.kept + sum(n for _, n in self.dropped)
+
+
+class ContributionIndex:
+    """announcement → :class:`Contribution`, interned once each.
+
+    Replicates ``SyntheticBgpStream._emit`` + :func:`sanitize` exactly:
+    per collector peer, the propagated path is looked up (or the
+    spurious single-peer path synthesized), decorated, and checked
+    against the §3.2 prefix-length and loop rules.  All of it happens
+    once per unique announcement; afterwards a day's worth of elements
+    is a handful of integer reads.
+    """
+
+    def __init__(
+        self,
+        topology: AsTopology,
+        collectors: Sequence[Collector],
+        table: Optional[PathTable] = None,
+    ) -> None:
+        self._collectors = list(collectors)
+        self._oracle = PathOracle(topology, all_peer_asns(collectors), table=table)
+        self.peers: List[ASN] = sorted(all_peer_asns(collectors))
+        self._peer_index: Dict[ASN, int] = {p: i for i, p in enumerate(self.peers)}
+        self._cache: Dict[Announcement, Contribution] = {}
+        #: Wall time spent computing new contributions (the columnar
+        #: equivalent of the object path's stream + sanitize work).
+        self.compute_seconds = 0.0
+
+    @property
+    def n_peers(self) -> int:
+        return len(self.peers)
+
+    @property
+    def table(self) -> PathTable:
+        return self._oracle.table
+
+    def contribution(self, ann: Announcement) -> Contribution:
+        cached = self._cache.get(ann)
+        if cached is None:
+            start = perf_counter()
+            cached = self._compute(ann)
+            self.compute_seconds += perf_counter() - start
+            self._cache[ann] = cached
+        return cached
+
+    def _compute(self, ann: Announcement) -> Contribution:
+        table = self._oracle.table
+        raw_ids = self._oracle.path_ids_for(ann.announcer)
+        routable = ann.prefix.is_globally_routable_length()
+        plain = (
+            ann.forged_origin is None
+            and not ann.prepend
+            and not ann.corrupt_loop
+        )
+        n_peers = len(self.peers)
+        peer_index = self._peer_index
+        pairs: Set[int] = set()
+        kept = 0
+        dropped_prefix = 0
+        dropped_loop = 0
+        for collector in self._collectors:
+            for peer in collector.peer_asns:
+                if ann.only_peer is not None and peer != ann.only_peer:
+                    continue
+                pid = raw_ids.get(peer)
+                if pid is None:
+                    if ann.only_peer is not None and peer == ann.only_peer:
+                        # spurious data: the peer leaks a path nobody
+                        # else can corroborate
+                        pid = table.intern((peer, ann.announcer))
+                    else:
+                        continue
+                if not plain:
+                    pid = table.intern(decorate_path(table.paths[pid], ann))
+                if not routable:
+                    dropped_prefix += 1
+                    continue
+                if table.has_loop[pid]:
+                    dropped_loop += 1
+                    continue
+                kept += 1
+                pairs.add(pid * n_peers + peer_index[peer])
+        dropped: List[Tuple[str, int]] = []
+        if dropped_loop:
+            dropped.append((REASON_LOOP, dropped_loop))
+        if dropped_prefix:
+            dropped.append((REASON_PREFIX_LENGTH, dropped_prefix))
+        return Contribution(
+            pairs=tuple(sorted(pairs)), kept=kept, dropped=tuple(dropped)
+        )
+
+
+class ActivityEngine:
+    """Incremental per-day visibility classifier over announcement diffs.
+
+    Feed it ascending-day multiset diffs via :meth:`apply`; it maintains
+    live (path, peer) pair counts, per-ASN peer-bitset counter rows, and
+    open activity runs, and closes runs only when an ASN's visibility
+    class actually changes.  :meth:`finish` returns the per-ASN runs
+    ``[(class, start, end), ...]`` where class 2 = observed (≥
+    ``min_corroboration`` peers) and class 1 = single-peer.
+    """
+
+    def __init__(
+        self,
+        topology: AsTopology,
+        collectors: Sequence[Collector],
+        *,
+        min_corroboration: int = DEFAULT_MIN_PEERS,
+        full_rebuild_fraction: float = DEFAULT_REBUILD_FRACTION,
+        table: Optional[PathTable] = None,
+    ) -> None:
+        if min_corroboration < 1:
+            raise ValueError("min_corroboration must be at least 1")
+        self._index = ContributionIndex(topology, collectors, table=table)
+        self._min_corr = min_corroboration
+        self._rebuild_fraction = full_rebuild_fraction
+        self._n_peers = self._index.n_peers
+        self._zero_row = array("i", bytes(4 * (self._n_peers + 1)))
+        # live state
+        self._live: Counter = Counter()
+        self._live_total = 0
+        self._pair_count: Dict[int, int] = {}
+        self._rows: Dict[ASN, array] = {}
+        # run bookkeeping
+        self._run_class: Dict[ASN, int] = {}
+        self._run_start: Dict[ASN, Day] = {}
+        self._runs: Dict[ASN, List[Tuple[int, Day, Day]]] = {}
+        self._last_day: Optional[Day] = None
+        # sanitize accounting: current per-day rates and day-weighted totals
+        self._rate_kept = 0
+        self._rate_dropped: Dict[str, int] = {}
+        self.kept = 0
+        self.dropped: Dict[str, int] = {}
+        self.rebuilds = 0
+
+    @property
+    def index(self) -> ContributionIndex:
+        return self._index
+
+    @property
+    def peers(self) -> List[ASN]:
+        return self._index.peers
+
+    @property
+    def elements(self) -> int:
+        """Day-weighted element count the object stream would have built."""
+        return self.kept + sum(self.dropped.values())
+
+    # -- per-day driving ---------------------------------------------------
+
+    def apply(
+        self,
+        day: Day,
+        added: Iterable[Announcement] = (),
+        removed: Iterable[Announcement] = (),
+    ) -> None:
+        """Apply one day's announcement diff (multisets; ascending days)."""
+        if self._last_day is not None and day <= self._last_day:
+            raise ValueError("apply() days must be strictly ascending")
+        self._advance(day)
+        added = added if isinstance(added, Counter) else Counter(added)
+        removed = removed if isinstance(removed, Counter) else Counter(removed)
+        change = sum(added.values()) + sum(removed.values())
+        if not change:
+            return
+        for ann, count in removed.items():
+            left = self._live[ann] - count
+            if left < 0:
+                raise ValueError(f"removing more {ann!r} than live")
+            if left:
+                self._live[ann] = left
+            else:
+                del self._live[ann]
+        self._live.update(added)
+        self._live_total += sum(added.values()) - sum(removed.values())
+        touched: Set[ASN] = set()
+        if change > self._rebuild_fraction * max(1, self._live_total):
+            self._rebuild(touched)
+        else:
+            for ann, count in removed.items():
+                self._apply_contribution(ann, -count, touched)
+            for ann, count in added.items():
+                self._apply_contribution(ann, count, touched)
+        self._commit(day, touched)
+
+    def finish(self, end: Day) -> Dict[ASN, List[Tuple[int, Day, Day]]]:
+        """Close all open runs at ``end`` and return the per-ASN runs."""
+        self._advance(end + 1)
+        for asn, cls in self._run_class.items():
+            self._runs.setdefault(asn, []).append((cls, self._run_start[asn], end))
+        self._run_class.clear()
+        self._run_start.clear()
+        return self._runs
+
+    # -- internals ---------------------------------------------------------
+
+    def _advance(self, day: Day) -> None:
+        """Accumulate day-weighted sanitize totals up to (excluding) ``day``."""
+        if self._last_day is not None:
+            span = day - self._last_day
+            self.kept += self._rate_kept * span
+            for reason, n in self._rate_dropped.items():
+                if n:
+                    self.dropped[reason] = self.dropped.get(reason, 0) + n * span
+        self._last_day = day
+
+    def _apply_contribution(
+        self, ann: Announcement, delta: int, touched: Set[ASN]
+    ) -> None:
+        contrib = self._index.contribution(ann)
+        self._rate_kept += delta * contrib.kept
+        for reason, n in contrib.dropped:
+            self._rate_dropped[reason] = (
+                self._rate_dropped.get(reason, 0) + delta * n
+            )
+        n_peers = self._n_peers
+        pair_count = self._pair_count
+        distinct = self._index.table.distinct
+        rows = self._rows
+        zero = self._zero_row
+        for key in contrib.pairs:
+            old = pair_count.get(key, 0)
+            new = old + delta
+            if new:
+                pair_count[key] = new
+            else:
+                del pair_count[key]
+            if (old == 0) == (new == 0):
+                continue  # pair liveness unchanged
+            live_delta = 1 if old == 0 else -1
+            pid, peer = divmod(key, n_peers)
+            for asn in distinct[pid]:
+                row = rows.get(asn)
+                if row is None:
+                    row = array("i", zero)
+                    rows[asn] = row
+                count = row[peer] + live_delta
+                row[peer] = count
+                if count == (1 if live_delta > 0 else 0):
+                    row[n_peers] += live_delta
+                    touched.add(asn)
+
+    def _rebuild(self, touched: Set[ASN]) -> None:
+        """Full recompute of the counters from the live multiset."""
+        self.rebuilds += 1
+        previously_visible = set(self._rows)
+        self._pair_count = {}
+        self._rows = {}
+        self._rate_kept = 0
+        self._rate_dropped = {}
+        for ann, count in self._live.items():
+            self._apply_contribution(ann, count, touched)
+        touched.update(previously_visible)
+
+    def _commit(self, day: Day, touched: Set[ASN]) -> None:
+        """Open/close activity runs for ASNs whose class changed today."""
+        n_peers = self._n_peers
+        min_corr = self._min_corr
+        for asn in touched:
+            row = self._rows.get(asn)
+            visible = row[n_peers] if row is not None else 0
+            new_class = 2 if visible >= min_corr else (1 if visible == 1 else 0)
+            old_class = self._run_class.get(asn, 0)
+            if new_class == old_class:
+                continue
+            if old_class:
+                self._runs.setdefault(asn, []).append(
+                    (old_class, self._run_start[asn], day - 1)
+                )
+            if new_class:
+                self._run_class[asn] = new_class
+                self._run_start[asn] = day
+            else:
+                del self._run_class[asn]
+                del self._run_start[asn]
+
+
+class DayVisibility:
+    """Columnar view of one day's visibility counters.
+
+    Duck-types the shim protocol of :func:`repro.bgp.visibility.
+    peer_visibility` / ``active_asns``: passing this object where an
+    element iterable is expected answers from the bitset counters
+    without materializing any :class:`BgpElement`.
+    """
+
+    def __init__(self, peers: Sequence[ASN], rows: Mapping[ASN, array]) -> None:
+        self._peers = list(peers)
+        self._rows = rows
+
+    def peer_visibility(self) -> Dict[ASN, Set[ASN]]:
+        """Materialize the legacy asn → peer-set mapping."""
+        n = len(self._peers)
+        peers = self._peers
+        return {
+            asn: {peers[i] for i in range(n) if row[i]}
+            for asn, row in self._rows.items()
+            if row[n]
+        }
+
+    def active_asns(self, min_peers: int = DEFAULT_MIN_PEERS) -> Set[ASN]:
+        """ASNs visible through at least ``min_peers`` distinct peers."""
+        n = len(self._peers)
+        return {asn for asn, row in self._rows.items() if row[n] >= min_peers}
+
+
+def day_visibility(
+    topology: AsTopology,
+    collectors: Sequence[Collector],
+    announcements: Iterable[Announcement],
+) -> DayVisibility:
+    """One day's visibility, computed columnar (no element objects)."""
+    engine = ActivityEngine(topology, collectors)
+    engine.apply(0, Counter(announcements))
+    return DayVisibility(engine.peers, engine._rows)
+
+
+# -- schedules --------------------------------------------------------------
+
+
+@dataclass
+class AnnouncementSchedule:
+    """Event-compressed announcement timeline for a day window.
+
+    ``base`` is the announcement multiset live on ``start``;
+    ``changes`` lists, for the (strictly ascending) days in
+    ``(start, end]`` where the multiset changes, the added and removed
+    announcement multisets.  This is the engine's native input: days
+    absent from ``changes`` cost nothing at all.
+    """
+
+    start: Day
+    end: Day
+    base: _Items = field(default_factory=list)
+    changes: List[Tuple[Day, _Items, _Items]] = field(default_factory=list)
+
+    @property
+    def changed_days(self) -> int:
+        return len(self.changes)
+
+
+def schedule_from_day_source(
+    day_source: Callable[[Day], Sequence[Announcement]],
+    start: Day,
+    end: Day,
+) -> AnnouncementSchedule:
+    """Diff per-day announcement lists into a schedule.
+
+    The generic adapter for arbitrary scenarios: each day's list is
+    materialized once and diffed (as a multiset) against the previous
+    day's.  Identical consecutive lists short-circuit before counting.
+    """
+    if end < start:
+        raise ValueError("end day precedes start day")
+    schedule = AnnouncementSchedule(start=start, end=end)
+    prev_list: Optional[List[Announcement]] = None
+    prev: Counter = Counter()
+    for day in range(start, end + 1):
+        cur_list = list(day_source(day))
+        if prev_list is not None and cur_list == prev_list:
+            continue
+        cur = Counter(cur_list)
+        if prev_list is None:
+            schedule.base = list(cur.items())
+        else:
+            added = cur - prev
+            removed = prev - cur
+            if added or removed:
+                schedule.changes.append(
+                    (day, list(added.items()), list(removed.items()))
+                )
+        prev_list, prev = cur_list, cur
+    return schedule
+
+
+def schedule_from_world(world, start: Day, end: Day) -> AnnouncementSchedule:
+    """Build the schedule straight from a simulated world's intervals.
+
+    Equivalent to diffing ``world.announcements_for_day`` over every
+    day (the equivalence tests pin this), but built from the interval
+    endpoints directly: legitimate activity, anomaly events, and
+    spurious single-peer observations each contribute constant
+    announcements over known day spans, so no per-day list is ever
+    materialized.
+    """
+    if end < start:
+        raise ValueError("end day precedes start day")
+    base: Counter = Counter()
+    adds: Dict[Day, List[Announcement]] = {}
+    removes: Dict[Day, List[Announcement]] = {}
+
+    def span(ann: Announcement, first: Day, last: Day) -> None:
+        if first == start:
+            base[ann] += 1
+        else:
+            adds.setdefault(first, []).append(ann)
+        if last < end:
+            removes.setdefault(last + 1, []).append(ann)
+
+    for asn, days in world.legit_activity.items():
+        prefix = world.prefixes.own_prefix(asn)
+        for iv in days.clamp(start, end):
+            span(Announcement(asn, prefix), iv.start, iv.end)
+    for event in world.events:
+        window = event.interval.clamp(start, end)
+        if window is None:
+            continue
+        for ann in event.announcements(window.start):
+            span(ann, window.start, window.end)
+    for asn, activity in world.activities.items():
+        spurious = activity.single_peer.clamp(start, end)
+        if not spurious:
+            continue
+        peer = world.collectors[0].peer_asns[0]
+        ann = Announcement(asn, world.prefixes.own_prefix(asn), only_peer=peer)
+        for iv in spurious:
+            span(ann, iv.start, iv.end)
+
+    schedule = AnnouncementSchedule(start=start, end=end, base=list(base.items()))
+    for day in sorted(set(adds) | set(removes)):
+        schedule.changes.append(
+            (
+                day,
+                list(Counter(adds.get(day, ())).items()),
+                list(Counter(removes.get(day, ())).items()),
+            )
+        )
+    return schedule
+
+
+# -- chunked execution ------------------------------------------------------
+
+
+@dataclass
+class ActivityReport:
+    """What one activity-table build processed (for profiling and docs)."""
+
+    days: int
+    changed_days: int
+    chunks: int
+    elements: int
+    kept: int
+    dropped: Dict[str, int]
+    rebuilds: int
+    stream_seconds: float = 0.0
+    sanitize_seconds: float = 0.0
+    visibility_seconds: float = 0.0
+
+
+def _activity_chunk_task(payload):
+    """Replay one contiguous day chunk of a schedule.
+
+    Module-level (picklable) and pure in its payload, like every
+    pipeline fan-out task.  Returns the chunk's per-ASN runs plus its
+    sanitize accounting.
+    """
+    (
+        topology,
+        collectors,
+        base,
+        changes,
+        chunk_start,
+        chunk_end,
+        min_corr,
+        rebuild_fraction,
+    ) = payload
+    engine = ActivityEngine(
+        topology,
+        collectors,
+        min_corroboration=min_corr,
+        full_rebuild_fraction=rebuild_fraction,
+    )
+    engine.apply(chunk_start, Counter(dict(base)))
+    for day, added, removed in changes:
+        engine.apply(day, Counter(dict(added)), Counter(dict(removed)))
+    runs = engine.finish(chunk_end)
+    return (
+        runs,
+        engine.kept,
+        dict(engine.dropped),
+        engine.rebuilds,
+        engine.index.compute_seconds,
+    )
+
+
+def _run_schedule(
+    topology: AsTopology,
+    collectors: Sequence[Collector],
+    schedule: AnnouncementSchedule,
+    *,
+    min_corroboration: int,
+    executor: ExecutorSpec,
+    day_chunk: int,
+    full_rebuild_fraction: float,
+) -> Tuple[Dict[ASN, List[Tuple[int, Day, Day]]], ActivityReport]:
+    """Fan a schedule out over fixed day chunks and merge the runs."""
+    if day_chunk < 1:
+        raise ValueError("day_chunk must be >= 1")
+    start, end = schedule.start, schedule.end
+    chunk_starts = list(range(start, end + 1, day_chunk))
+
+    def apply_items(live: Counter, added: _Items, removed: _Items) -> None:
+        for ann, count in added:
+            live[ann] += count
+        for ann, count in removed:
+            left = live[ann] - count
+            if left:
+                live[ann] = left
+            else:
+                del live[ann]
+
+    # One linear replay of the (event-compressed) change list yields
+    # every chunk's base multiset and its in-chunk changes.
+    collectors = list(collectors)
+    task_payloads = []
+    live: Counter = Counter(dict(schedule.base))
+    changes = schedule.changes
+    idx, n_changes = 0, len(changes)
+    for chunk_start in chunk_starts:
+        chunk_end = min(chunk_start + day_chunk - 1, end)
+        # a change landing exactly on the chunk's first day folds into
+        # its base (the worker's first apply() is that day)
+        while idx < n_changes and changes[idx][0] <= chunk_start:
+            apply_items(live, changes[idx][1], changes[idx][2])
+            idx += 1
+        base = list(live.items())
+        chunk_changes: List[Tuple[Day, _Items, _Items]] = []
+        while idx < n_changes and changes[idx][0] <= chunk_end:
+            chunk_changes.append(changes[idx])
+            apply_items(live, changes[idx][1], changes[idx][2])
+            idx += 1
+        task_payloads.append(
+            (
+                topology,
+                collectors,
+                base,
+                chunk_changes,
+                chunk_start,
+                chunk_end,
+                min_corroboration,
+                full_rebuild_fraction,
+            )
+        )
+
+    spec = executor
+    executor = resolve_executor(spec)
+    try:
+        results = executor.map(_activity_chunk_task, task_payloads)
+    finally:
+        if executor is not spec:
+            executor.close()
+
+    merged: Dict[ASN, List[Tuple[int, Day, Day]]] = {}
+    kept = 0
+    dropped: Dict[str, int] = {}
+    rebuilds = 0
+    sanitize_seconds = 0.0
+    for runs, chunk_kept, chunk_dropped, chunk_rebuilds, compute_seconds in results:
+        kept += chunk_kept
+        rebuilds += chunk_rebuilds
+        sanitize_seconds += compute_seconds
+        for reason, n in chunk_dropped.items():
+            dropped[reason] = dropped.get(reason, 0) + n
+        for asn, runs_for_asn in runs.items():
+            dst = merged.setdefault(asn, [])
+            for run in runs_for_asn:
+                if dst and dst[-1][0] == run[0] and dst[-1][2] + 1 == run[1]:
+                    dst[-1] = (run[0], dst[-1][1], run[2])
+                else:
+                    dst.append(run)
+
+    report = ActivityReport(
+        days=end - start + 1,
+        changed_days=schedule.changed_days,
+        chunks=len(chunk_starts),
+        elements=kept + sum(dropped.values()),
+        kept=kept,
+        dropped=dropped,
+        rebuilds=rebuilds,
+        sanitize_seconds=sanitize_seconds,
+    )
+    return merged, report
+
+
+def _tables_from_runs(runs: Dict[ASN, List[Tuple[int, Day, Day]]]):
+    """Per-ASN runs → ``OperationalActivity`` tables."""
+    # Deferred import: repro.lifetimes.bgp imports this module at load
+    # time; the reverse edge must stay call-time only.
+    from ..lifetimes.bgp import OperationalActivity
+
+    tables = {}
+    for asn, asn_runs in runs.items():
+        observed = [Interval(s, e) for cls, s, e in asn_runs if cls == 2]
+        single = [Interval(s, e) for cls, s, e in asn_runs if cls == 1]
+        tables[asn] = OperationalActivity(
+            asn=asn,
+            observed=IntervalSet(observed),
+            single_peer=IntervalSet(single),
+        )
+    return tables
+
+
+def build_activity_tables(
+    topology: AsTopology,
+    collectors: Sequence[Collector],
+    day_source: Callable[[Day], Sequence[Announcement]],
+    start: Day,
+    end: Day,
+    *,
+    min_corroboration: int = DEFAULT_MIN_PEERS,
+    executor: ExecutorSpec = None,
+    day_chunk: int = DEFAULT_DAY_CHUNK,
+    full_rebuild_fraction: float = DEFAULT_REBUILD_FRACTION,
+):
+    """Columnar §3.2 activity tables from a per-day announcement source.
+
+    Returns ``(tables, report)`` where ``tables`` maps every ASN ever
+    visible in a sanitized path to its
+    :class:`~repro.lifetimes.bgp.OperationalActivity`, byte-identical
+    to what the object stream pipeline derives.
+    """
+    stream_start = perf_counter()
+    schedule = schedule_from_day_source(day_source, start, end)
+    stream_seconds = perf_counter() - stream_start
+
+    run_start = perf_counter()
+    runs, report = _run_schedule(
+        topology,
+        collectors,
+        schedule,
+        min_corroboration=min_corroboration,
+        executor=executor,
+        day_chunk=day_chunk,
+        full_rebuild_fraction=full_rebuild_fraction,
+    )
+    tables = _tables_from_runs(runs)
+    run_seconds = perf_counter() - run_start
+    report.stream_seconds = stream_seconds
+    report.visibility_seconds = max(0.0, run_seconds - report.sanitize_seconds)
+    return tables, report
+
+
+def build_world_activity_tables(
+    world,
+    *,
+    start: Optional[Day] = None,
+    end: Optional[Day] = None,
+    min_corroboration: int = DEFAULT_MIN_PEERS,
+    executor: ExecutorSpec = None,
+    day_chunk: int = DEFAULT_DAY_CHUNK,
+    full_rebuild_fraction: float = DEFAULT_REBUILD_FRACTION,
+):
+    """Columnar activity tables for a simulated world's window.
+
+    Uses the event-compressed schedule (interval endpoints, no per-day
+    list materialization); otherwise identical to
+    :func:`build_activity_tables` over ``world.announcements_for_day``.
+    """
+    start = world.config.start_day if start is None else start
+    end = world.config.end_day if end is None else end
+    stream_start = perf_counter()
+    schedule = schedule_from_world(world, start, end)
+    stream_seconds = perf_counter() - stream_start
+
+    run_start = perf_counter()
+    runs, report = _run_schedule(
+        world.topology,
+        world.collectors,
+        schedule,
+        min_corroboration=min_corroboration,
+        executor=executor,
+        day_chunk=day_chunk,
+        full_rebuild_fraction=full_rebuild_fraction,
+    )
+    tables = _tables_from_runs(runs)
+    run_seconds = perf_counter() - run_start
+    report.stream_seconds = stream_seconds
+    report.visibility_seconds = max(0.0, run_seconds - report.sanitize_seconds)
+    return tables, report

@@ -20,7 +20,14 @@ from ..asn.numbers import ASN
 from ..net.prefix import Prefix
 from ..timeline.dates import Day
 
-__all__ = ["RIB", "ANNOUNCE", "WITHDRAW", "BgpElement", "path_has_loop"]
+__all__ = [
+    "RIB",
+    "ANNOUNCE",
+    "WITHDRAW",
+    "BgpElement",
+    "path_has_loop",
+    "distinct_path_asns",
+]
 
 RIB = "R"
 ANNOUNCE = "A"
@@ -44,6 +51,21 @@ def path_has_loop(as_path: Tuple[ASN, ...]) -> bool:
         seen.add(asn)
         previous = asn
     return False
+
+
+def distinct_path_asns(as_path: Tuple[ASN, ...]) -> Tuple[ASN, ...]:
+    """Distinct ASNs of a path, in order of first appearance.
+
+    Shared by :meth:`BgpElement.path_asns` and the columnar activity
+    engine's path table, which precomputes this once per interned path.
+    """
+    out = []
+    seen = set()
+    for asn in as_path:
+        if asn not in seen:
+            seen.add(asn)
+            out.append(asn)
+    return tuple(out)
 
 
 @dataclass(frozen=True)
@@ -72,21 +94,26 @@ class BgpElement:
 
     @property
     def has_loop(self) -> bool:
-        return path_has_loop(self.as_path)
+        cached = self.__dict__.get("_has_loop")
+        if cached is None:
+            cached = path_has_loop(self.as_path)
+            object.__setattr__(self, "_has_loop", cached)
+        return cached
 
     def path_asns(self) -> Tuple[ASN, ...]:
         """Distinct ASNs on the path, in order of first appearance.
 
         Every ASN in the path counts as "seen in BGP" that day (§3.2
         tracks "ASNs that appear in BGP paths", transit included).
+        Memoized per element: sanitization, visibility accounting, and
+        the role analyses all decode the same path, and the element is
+        frozen, so the decode is paid once.
         """
-        out = []
-        seen = set()
-        for asn in self.as_path:
-            if asn not in seen:
-                seen.add(asn)
-                out.append(asn)
-        return tuple(out)
+        cached = self.__dict__.get("_path_asns")
+        if cached is None:
+            cached = distinct_path_asns(self.as_path)
+            object.__setattr__(self, "_path_asns", cached)
+        return cached
 
     def describe(self) -> str:
         """Compact human-readable rendering for examples and logs."""

@@ -9,11 +9,17 @@ reason so pipelines can report exactly what was removed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator
+from typing import Dict, Iterable, Iterator, Optional
 
 from .messages import WITHDRAW, BgpElement
 
-__all__ = ["SanitizeStats", "sanitize"]
+__all__ = [
+    "SanitizeStats",
+    "sanitize",
+    "drop_reason",
+    "REASON_PREFIX_LENGTH",
+    "REASON_LOOP",
+]
 
 REASON_PREFIX_LENGTH = "prefix_length"
 REASON_LOOP = "as_path_loop"
@@ -38,6 +44,22 @@ class SanitizeStats:
         return self.kept + self.total_dropped
 
 
+def drop_reason(element: BgpElement) -> Optional[str]:
+    """The paper's drop decision for one element, or ``None`` to keep.
+
+    The prefix-length bound is checked before the loop check (matching
+    the drop-reason attribution of :func:`sanitize`); withdrawals carry
+    no path and can only fail the prefix rule.  The columnar activity
+    engine applies the same decision per interned (prefix, path) pair
+    instead of per element.
+    """
+    if not element.prefix.is_globally_routable_length():
+        return REASON_PREFIX_LENGTH
+    if element.elem_type != WITHDRAW and element.has_loop:
+        return REASON_LOOP
+    return None
+
+
 def sanitize(
     elements: Iterable[BgpElement],
     stats: SanitizeStats | None = None,
@@ -51,11 +73,9 @@ def sanitize(
     if stats is None:
         stats = SanitizeStats()
     for element in elements:
-        if not element.prefix.is_globally_routable_length():
-            stats.drop(REASON_PREFIX_LENGTH)
-            continue
-        if element.elem_type != WITHDRAW and element.has_loop:
-            stats.drop(REASON_LOOP)
+        reason = drop_reason(element)
+        if reason is not None:
+            stats.drop(reason)
             continue
         stats.kept += 1
         yield element

@@ -22,11 +22,17 @@ from ..asn.numbers import ASN
 from ..net.prefix import Prefix
 from ..timeline.dates import Day
 from .collector import Collector, all_peer_asns
-from .messages import ANNOUNCE, RIB, WITHDRAW, BgpElement
+from .messages import ANNOUNCE, RIB, WITHDRAW, BgpElement, distinct_path_asns, path_has_loop
 from .routing import Path, best_paths
 from .topology import AsTopology
 
-__all__ = ["Announcement", "PathOracle", "SyntheticBgpStream"]
+__all__ = [
+    "Announcement",
+    "PathTable",
+    "PathOracle",
+    "SyntheticBgpStream",
+    "decorate_path",
+]
 
 
 @dataclass(frozen=True)
@@ -60,13 +66,77 @@ class Announcement:
         return (self.announcer, self.prefix, self.forged_origin)
 
 
-class PathOracle:
-    """Caches best valley-free paths from vantage ASes to announcers."""
+def decorate_path(path: Path, ann: "Announcement") -> Path:
+    """Apply an announcement's path decorations (forged origin, prepend,
+    loop corruption) to a propagated path.
 
-    def __init__(self, topology: AsTopology, vantages: Set[ASN]) -> None:
+    Shared by the object stream and the columnar activity engine so the
+    two produce byte-identical paths for the same announcement.
+    """
+    if ann.forged_origin is not None:
+        path = path + (ann.forged_origin,)
+    if ann.prepend:
+        path = path + (path[-1],) * ann.prepend
+    if ann.corrupt_loop and len(path) >= 2:
+        # repeat the first hop behind the origin: a non-adjacent
+        # duplicate, i.e. a loop the sanitizer must reject
+        path = path + (path[0],)
+    return path
+
+
+class PathTable:
+    """Interns AS paths to dense integer ids with precomputed facts.
+
+    The columnar activity engine never carries path tuples through its
+    hot loops: a path is interned once, and everything the §3.2
+    pipeline derives from it — the distinct ASNs it makes visible and
+    whether the sanitizer rejects it as a loop — is computed at intern
+    time and read back by id.  ``paths[i]``, ``distinct[i]`` and
+    ``has_loop[i]`` are parallel columns over path ids.
+    """
+
+    __slots__ = ("_ids", "paths", "distinct", "has_loop")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Path, int] = {}
+        self.paths: List[Path] = []
+        self.distinct: List[Tuple[ASN, ...]] = []
+        self.has_loop: List[bool] = []
+
+    def intern(self, path: Path) -> int:
+        """Return the id of ``path``, assigning the next id when new."""
+        pid = self._ids.get(path)
+        if pid is None:
+            pid = len(self.paths)
+            self._ids[path] = pid
+            self.paths.append(path)
+            self.distinct.append(distinct_path_asns(path))
+            self.has_loop.append(path_has_loop(path))
+        return pid
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+
+class PathOracle:
+    """Caches best valley-free paths from vantage ASes to announcers.
+
+    Besides the tuple-level cache the oracle keeps a :class:`PathTable`
+    interning every vantage path once, so columnar consumers work with
+    dense path ids instead of per-element tuples.
+    """
+
+    def __init__(
+        self,
+        topology: AsTopology,
+        vantages: Set[ASN],
+        table: Optional[PathTable] = None,
+    ) -> None:
         self._topology = topology
         self._vantages = set(vantages)
         self._cache: Dict[ASN, Dict[ASN, Path]] = {}
+        self.table = table if table is not None else PathTable()
+        self._ids_cache: Dict[ASN, Dict[ASN, int]] = {}
 
     def paths_for(self, announcer: ASN) -> Dict[ASN, Path]:
         """Vantage → path map for one announcer (cached)."""
@@ -75,6 +145,15 @@ class PathOracle:
             full = best_paths(self._topology, announcer)
             cached = {v: p for v, p in full.items() if v in self._vantages}
             self._cache[announcer] = cached
+        return cached
+
+    def path_ids_for(self, announcer: ASN) -> Dict[ASN, int]:
+        """Vantage → interned path id for one announcer (cached)."""
+        cached = self._ids_cache.get(announcer)
+        if cached is None:
+            intern = self.table.intern
+            cached = {v: intern(p) for v, p in self.paths_for(announcer).items()}
+            self._ids_cache[announcer] = cached
         return cached
 
 
@@ -182,14 +261,4 @@ class SyntheticBgpStream:
                     prefix=ann.prefix,
                 )
 
-    @staticmethod
-    def _decorate(path: Path, ann: Announcement) -> Path:
-        if ann.forged_origin is not None:
-            path = path + (ann.forged_origin,)
-        if ann.prepend:
-            path = path + (path[-1],) * ann.prepend
-        if ann.corrupt_loop and len(path) >= 2:
-            # repeat the first hop behind the origin: a non-adjacent
-            # duplicate, i.e. a loop the sanitizer must reject
-            path = path + (path[0],)
-        return path
+    _decorate = staticmethod(decorate_path)

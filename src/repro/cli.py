@@ -22,6 +22,10 @@ Runtime flags on ``simulate``: ``--jobs N`` fans the parallel pipeline
 stages out over N worker processes (bit-identical output),
 ``--cache-dir PATH`` reuses/stores content-addressed pipeline
 artifacts, and ``--profile`` prints per-stage wall times.
+``--bgp-engine columnar|object`` rebuilds operational lifetimes from the
+message-level BGP stream over the last ``--bgp-window`` days (the
+columnar engine and the per-element baseline produce byte-identical
+datasets; cached activity tables make repeat runs skip the stream).
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -76,6 +80,20 @@ def build_parser() -> argparse.ArgumentParser:
                           "(warm hits skip the whole rebuild)")
     simulate.add_argument("--profile", action="store_true",
                           help="print per-stage wall times and item counts")
+    simulate.add_argument("--bgp-engine",
+                          choices=("interval", "columnar", "object"),
+                          default="interval",
+                          help="how operational activity is derived: "
+                          "'interval' reads the simulation's activity "
+                          "intervals directly (default, full window); "
+                          "'columnar' and 'object' rebuild it from the "
+                          "message-level BGP stream over the last "
+                          "--bgp-window days (columnar = incremental "
+                          "engine, object = per-element baseline; both "
+                          "yield byte-identical lifetimes)")
+    simulate.add_argument("--bgp-window", type=int, default=365,
+                          help="days of message-level BGP to rebuild when "
+                          "--bgp-engine is columnar/object (default 365)")
 
     analyze = sub.add_parser("analyze", help="joint analysis over exported datasets")
     analyze.add_argument("admin", type=Path, help="administrative dataset JSON")
@@ -125,12 +143,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config, inject_pitfalls=not args.no_pitfalls, timeout=args.timeout,
         jobs=args.jobs, cache=args.cache_dir, stats=stats,
     )
+    if args.bgp_engine == "interval":
+        op_lives = bundle.op_lives
+        joint = bundle.joint
+    else:
+        from .lifetimes.bgp import build_operational_dataset
+
+        end = config.end_day
+        start = max(config.start_day, end - args.bgp_window + 1)
+        op_lives, _tables = build_operational_dataset(
+            bundle.world, start=start, end=end, timeout=args.timeout,
+            engine=args.bgp_engine, executor=args.jobs,
+            cache=args.cache_dir, stats=stats,
+        )
+        joint = JointAnalysis(
+            admin_lives=bundle.admin_lives,
+            op_lives=op_lives,
+            end_day=end,
+            topology=bundle.world.topology,
+            siblings=bundle.world.orgs.sibling_map(),
+            truth=bundle.world.events,
+        )
     args.out.mkdir(parents=True, exist_ok=True)
     admin_path = args.out / "admin_dataset.json"
     op_path = args.out / "operational_dataset.json"
     n_admin = dump_admin_dataset(bundle.admin_lives, admin_path)
-    n_op = dump_bgp_dataset(bundle.op_lives, op_path)
-    print(render_report(bundle.joint, restoration=bundle.restoration_report))
+    n_op = dump_bgp_dataset(op_lives, op_path)
+    print(render_report(joint, restoration=bundle.restoration_report))
     print(f"\nwrote {admin_path} ({n_admin} records)")
     print(f"wrote {op_path} ({n_op} records)")
     if args.profile:

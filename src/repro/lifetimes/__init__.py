@@ -6,6 +6,7 @@ from .bgp import (
     OperationalActivity,
     activity_from_elements,
     build_bgp_lifetimes,
+    build_operational_dataset,
     lifetimes_from_activity,
 )
 from .io import (
@@ -37,6 +38,7 @@ __all__ = [
     "admin_lifetimes_for_stints",
     "OperationalActivity",
     "build_bgp_lifetimes",
+    "build_operational_dataset",
     "lifetimes_from_activity",
     "activity_from_elements",
     "DEFAULT_TIMEOUT",

@@ -15,17 +15,28 @@ the rule protects against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Tuple
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ..asn.numbers import ASN
+from ..bgp.activity import (
+    DEFAULT_DAY_CHUNK,
+    DEFAULT_REBUILD_FRACTION,
+    build_world_activity_tables,
+)
 from ..bgp.messages import BgpElement
+from ..bgp.sanitize import SanitizeStats, sanitize
+from ..bgp.stream import SyntheticBgpStream
 from ..bgp.visibility import peer_visibility
+from ..runtime.cache import ACTIVITY_TABLE_VERSION, ArtifactCache
 from ..runtime.executor import (
     DEFAULT_CHUNK_SIZE,
     ExecutorSpec,
     chunked,
     resolve_executor,
 )
+from ..runtime.profiling import PipelineStats
 from ..timeline.dates import Day
 from ..timeline.intervals import IntervalSet
 from .records import BgpLifetime
@@ -34,6 +45,7 @@ __all__ = [
     "DEFAULT_TIMEOUT",
     "OperationalActivity",
     "build_bgp_lifetimes",
+    "build_operational_dataset",
     "lifetimes_from_activity",
     "activity_from_elements",
 ]
@@ -129,6 +141,161 @@ def build_bgp_lifetimes(
     for result in results:
         out.update(result)
     return out
+
+
+def _object_stream_tables(
+    world,
+    start: Day,
+    end: Day,
+    min_corroboration: int,
+    stats: PipelineStats,
+) -> Dict[ASN, OperationalActivity]:
+    """The object-stream baseline: one day at a time, element objects.
+
+    Algorithmically identical to streaming every day through
+    :func:`repro.bgp.sanitize.sanitize` + :func:`activity_from_elements`
+    (whose equivalence the property tests pin), but processed day by day
+    so the window's elements never coexist in memory, and with the
+    stream/sanitize/visibility stage costs timed separately.
+    """
+    stream = SyntheticBgpStream(
+        world.topology, world.collectors, world.announcements_for_day
+    )
+    san_stats = SanitizeStats()
+    observed_days: Dict[ASN, List[Day]] = {}
+    single_days: Dict[ASN, List[Day]] = {}
+    stream_seconds = sanitize_seconds = visibility_seconds = 0.0
+    for day in range(start, end + 1):
+        t0 = perf_counter()
+        raw = list(stream.elements_for_day(day))
+        t1 = perf_counter()
+        kept = list(sanitize(raw, san_stats))
+        t2 = perf_counter()
+        for asn, peers in peer_visibility(kept).items():
+            npeers = len(peers)
+            if npeers >= min_corroboration:
+                observed_days.setdefault(asn, []).append(day)
+            elif npeers == 1:
+                single_days.setdefault(asn, []).append(day)
+        t3 = perf_counter()
+        stream_seconds += t1 - t0
+        sanitize_seconds += t2 - t1
+        visibility_seconds += t3 - t2
+    t0 = perf_counter()
+    tables = {
+        asn: OperationalActivity(
+            asn=asn,
+            observed=IntervalSet.from_sorted_days(observed_days.get(asn, [])),
+            single_peer=IntervalSet.from_sorted_days(single_days.get(asn, [])),
+        )
+        for asn in set(observed_days) | set(single_days)
+    }
+    visibility_seconds += perf_counter() - t0
+    stats.record("bgp:stream", stream_seconds, items=end - start + 1)
+    stats.record("bgp:sanitize", sanitize_seconds, items=san_stats.total_seen)
+    stats.record("bgp:visibility", visibility_seconds, items=len(tables))
+    return tables
+
+
+def build_operational_dataset(
+    world,
+    *,
+    start: Optional[Day] = None,
+    end: Optional[Day] = None,
+    timeout: int = DEFAULT_TIMEOUT,
+    min_peers: int = 2,
+    min_corroboration: int = 2,
+    engine: str = "columnar",
+    executor: ExecutorSpec = None,
+    cache: Union[ArtifactCache, str, Path, None] = None,
+    stats: Optional[PipelineStats] = None,
+    day_chunk: int = DEFAULT_DAY_CHUNK,
+    full_rebuild_fraction: float = DEFAULT_REBUILD_FRACTION,
+) -> Tuple[Dict[ASN, List[BgpLifetime]], Dict[ASN, OperationalActivity]]:
+    """Message-level §3.2→§4.2: activity tables plus operational lives.
+
+    Rebuilds per-ASN :class:`OperationalActivity` from the BGP message
+    stream of ``world`` over ``[start, end]`` and segments it into
+    lifetimes.  ``engine`` selects how the tables are built:
+
+    ``"columnar"``
+        The incremental engine (:mod:`repro.bgp.activity`): interned
+        paths, peer-bitset counters, day diffing, executor fan-out over
+        fixed day chunks.
+    ``"object"``
+        The per-element baseline: one :class:`~repro.bgp.messages.
+        BgpElement` per (collector, peer, announcement) per day.
+
+    Both engines produce byte-identical tables (and therefore
+    byte-identical lifetimes); when ``cache`` is given, the tables are
+    stored as an ``activity-table`` artifact keyed on the world config,
+    the window and ``min_corroboration`` — *not* the engine — so a warm
+    hit skips the stream/sanitize/visibility stages entirely, whichever
+    engine ran first.  ``timeout``/``min_peers`` only shape the cheap
+    segmentation stage and are deliberately outside the key.
+
+    Returns ``(op_lives, tables)``.
+    """
+    if engine not in ("columnar", "object"):
+        raise ValueError(f"unknown BGP activity engine {engine!r}")
+    start = world.config.start_day if start is None else start
+    end = world.config.end_day if end is None else end
+    if stats is None:
+        stats = PipelineStats()
+    if cache is not None and not isinstance(cache, ArtifactCache):
+        cache = ArtifactCache(cache)
+
+    tables: Optional[Dict[ASN, OperationalActivity]] = None
+    key: Optional[str] = None
+    if cache is not None:
+        key = cache.key_for(
+            artifact="activity-table",
+            table_version=ACTIVITY_TABLE_VERSION,
+            config=world.config,
+            start=start,
+            end=end,
+            min_corroboration=min_corroboration,
+        )
+        with stats.stage("cache:lookup") as timing:
+            tables = cache.load(key)
+            if tables is not None:
+                timing.items = len(tables)
+
+    if tables is None:
+        if engine == "columnar":
+            tables, report = build_world_activity_tables(
+                world,
+                start=start,
+                end=end,
+                min_corroboration=min_corroboration,
+                executor=executor,
+                day_chunk=day_chunk,
+                full_rebuild_fraction=full_rebuild_fraction,
+            )
+            stats.record("bgp:stream", report.stream_seconds,
+                         items=report.changed_days)
+            stats.record("bgp:sanitize", report.sanitize_seconds,
+                         items=report.elements)
+            stats.record("bgp:visibility", report.visibility_seconds,
+                         items=report.chunks)
+        else:
+            tables = _object_stream_tables(
+                world, start, end, min_corroboration, stats
+            )
+        if cache is not None and key is not None:
+            with stats.stage("cache:store", items=len(tables)):
+                cache.store(key, tables)
+
+    with stats.stage("bgp:segment") as timing:
+        op_lives = build_bgp_lifetimes(
+            tables,
+            timeout=timeout,
+            min_peers=min_peers,
+            end_day=end,
+            executor=executor,
+        )
+        timing.items = len(op_lives)
+    return op_lives, tables
 
 
 def activity_from_elements(

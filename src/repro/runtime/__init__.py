@@ -15,6 +15,7 @@ reproduction pipeline the same operational shape.
 """
 
 from .cache import (
+    ACTIVITY_TABLE_VERSION,
     PIPELINE_VERSION,
     ArtifactCache,
     cache_key,
@@ -34,6 +35,7 @@ from .profiling import PipelineStats, StageTiming
 
 __all__ = [
     "PIPELINE_VERSION",
+    "ACTIVITY_TABLE_VERSION",
     "ArtifactCache",
     "cache_key",
     "dumps_with_gc_paused",

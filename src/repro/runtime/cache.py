@@ -32,6 +32,7 @@ from typing import Any, Optional, Union
 
 __all__ = [
     "PIPELINE_VERSION",
+    "ACTIVITY_TABLE_VERSION",
     "ArtifactCache",
     "fingerprint",
     "cache_key",
@@ -43,6 +44,16 @@ __all__ = [
 #: previously cached bundles stale (new restoration step, changed
 #: lifetime rules, ...).  Part of every cache key.
 PIPELINE_VERSION = "2026.08-1"
+
+#: Version tag of the ``activity-table`` bundle component (the per-ASN
+#: :class:`~repro.lifetimes.bgp.OperationalActivity` tables the BGP
+#: activity engines produce).  Part of every activity-table cache key;
+#: bump when the engines' output semantics change.  The *engine name*
+#: is deliberately not part of the key: columnar and object-stream
+#: builds are contractually byte-identical, so either may serve a hit
+#: for the other — the scaling benchmark's determinism check relies on
+#: exactly this property.
+ACTIVITY_TABLE_VERSION = "activity-table/v1"
 
 
 def fingerprint(obj: Any) -> Any:

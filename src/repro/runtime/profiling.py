@@ -84,3 +84,44 @@ class PipelineStats:
                 f"{stage.name:<28} {stage.seconds:>9.3f} {share:>6.1%} {items:>8}"
             )
         return "\n".join(lines)
+
+    def compare(
+        self,
+        baseline: "PipelineStats",
+        *,
+        label: str = "this",
+        baseline_label: str = "baseline",
+    ) -> str:
+        """Side-by-side per-stage comparison against a baseline run.
+
+        Stage names present in either run are listed (in first-seen
+        order); the speedup column is baseline seconds over this run's
+        seconds, so values above 1 mean this run is faster.  Used by
+        the scaling benchmark to contrast the columnar BGP activity
+        engine with the object-stream baseline.
+        """
+        mine = self.as_dict()
+        theirs = baseline.as_dict()
+        names = list(dict.fromkeys(
+            [s.name for s in self.stages] + [s.name for s in baseline.stages]
+        ))
+        lines = [
+            f"{'stage':<28} {label:>10} {baseline_label:>10} {'speedup':>8}",
+        ]
+        for name in names:
+            a = mine.get(name)
+            b = theirs.get(name)
+            a_txt = "" if a is None else f"{a:.3f}s"
+            b_txt = "" if b is None else f"{b:.3f}s"
+            if a and b:
+                speedup = f"{b / a:>7.1f}x"
+            else:
+                speedup = ""
+            lines.append(f"{name:<28} {a_txt:>10} {b_txt:>10} {speedup:>8}")
+        total_a = self.total_seconds()
+        total_b = baseline.total_seconds()
+        speedup = f"{total_b / total_a:>7.1f}x" if total_a > 0 and total_b > 0 else ""
+        lines.append(
+            f"{'total':<28} {total_a:>9.3f}s {total_b:>9.3f}s {speedup:>8}"
+        )
+        return "\n".join(lines)
