@@ -181,3 +181,54 @@ def test_bgp_activity_scaling(record_result):
         f"{'cold/warm cache speedup':<28} {cache_speedup:>9.2f}x",
     ]
     record_result("bgp_activity", "\n".join(lines))
+
+
+def test_cache_verification_overhead(record_result, tmp_path):
+    """Sha256 warm-hit verification costs <= ~5% over unverified loads.
+
+    The ISSUE 3 acceptance bound: checksum verification must be cheap
+    enough to leave on by default.  Same world, same window, same warm
+    activity-table entry — timed under ``verify="off"`` and
+    ``verify="sha256"``, min-of-7 to shed scheduler noise.
+    """
+    world = WorldSimulator(tiny(seed=2021)).run()
+    end = world.config.end_day
+    start = end - 179
+    window = dict(start=start, end=end)
+
+    # one shared entry directory, populated once
+    seed_cache = ArtifactCache(tmp_path, faults=None)
+    build_operational_dataset(world, cache=seed_cache, **window)
+
+    def warm_seconds(verify: str) -> float:
+        cache = ArtifactCache(tmp_path, verify=verify, faults=None)
+        best = float("inf")
+        for _ in range(7):
+            t0 = perf_counter()
+            lives, _ = build_operational_dataset(
+                world, cache=cache, **window
+            )
+            best = min(best, perf_counter() - t0)
+            assert lives  # every iteration is a real warm hit
+        assert cache.hits == 7
+        assert cache.corrupt == 0
+        return best
+
+    off_t = warm_seconds("off")
+    sha_t = warm_seconds("sha256")
+
+    # 5% relative, plus a 2ms absolute floor so the bound is meaningful
+    # even when the whole warm hit is sub-millisecond
+    assert sha_t <= off_t * 1.05 + 0.002, (
+        f"sha256 verification overhead too high: {sha_t:.4f}s verified "
+        f"vs {off_t:.4f}s unverified"
+    )
+
+    overhead = (sha_t / off_t - 1.0) * 100.0
+    lines = [
+        f"warm activity-table hit, min of 7 runs",
+        f"{'verify=off':<28} {off_t:>9.4f}s",
+        f"{'verify=sha256':<28} {sha_t:>9.4f}s",
+        f"{'verification overhead':<28} {overhead:>8.2f}%",
+    ]
+    record_result("cache_verification_overhead", "\n".join(lines))

@@ -21,7 +21,13 @@ Subcommands mirror the paper's workflow (Fig. 1):
 Runtime flags on ``simulate``: ``--jobs N`` fans the parallel pipeline
 stages out over N worker processes (bit-identical output),
 ``--cache-dir PATH`` reuses/stores content-addressed pipeline
-artifacts, and ``--profile`` prints per-stage wall times.
+artifacts, ``--cache-verify {off,sha256}`` controls checksum
+verification of loaded cache entries (corrupt entries are quarantined
+and rebuilt), ``--retries N`` bounds retry attempts after transient
+worker-pool failures, ``--on-worker-failure {raise,serial}`` picks
+between failing fast and degrading to serial execution with identical
+output, and ``--profile`` prints per-stage wall times plus any runtime
+degradation events.
 ``--bgp-engine columnar|object`` rebuilds operational lifetimes from the
 message-level BGP stream over the last ``--bgp-window`` days (the
 columnar engine and the per-element baseline produce byte-identical
@@ -78,6 +84,22 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--cache-dir", type=Path, default=None,
                           help="content-addressed artifact cache directory "
                           "(warm hits skip the whole rebuild)")
+    simulate.add_argument("--cache-verify", choices=("off", "sha256"),
+                          default="sha256",
+                          help="integrity check for loaded cache entries: "
+                          "'sha256' (default) verifies each payload against "
+                          "its sidecar manifest and quarantines+rebuilds "
+                          "corrupt entries; 'off' trusts unpickling alone")
+    simulate.add_argument("--retries", type=int, default=2,
+                          help="retry budget for transient worker-pool "
+                          "failures (default 2; each retry replaces the "
+                          "broken pool and re-runs the same items)")
+    simulate.add_argument("--on-worker-failure", choices=("raise", "serial"),
+                          default="serial",
+                          help="after the retry budget is exhausted: 'serial' "
+                          "(default) degrades to inline execution with "
+                          "identical output, 'raise' fails fast with a "
+                          "WorkerPoolError")
     simulate.add_argument("--profile", action="store_true",
                           help="print per-stage wall times and item counts")
     simulate.add_argument("--bgp-engine",
@@ -135,35 +157,44 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from .runtime import PipelineStats
+    from .runtime import PipelineStats, resolve_executor
 
     config = WorldConfig(seed=args.seed, scale=args.scale)
     stats = PipelineStats()
-    bundle = build_datasets(
-        config, inject_pitfalls=not args.no_pitfalls, timeout=args.timeout,
-        jobs=args.jobs, cache=args.cache_dir, stats=stats,
+    executor = resolve_executor(
+        args.jobs, retries=args.retries, on_failure=args.on_worker_failure,
     )
-    if args.bgp_engine == "interval":
-        op_lives = bundle.op_lives
-        joint = bundle.joint
-    else:
-        from .lifetimes.bgp import build_operational_dataset
+    try:
+        bundle = build_datasets(
+            config, inject_pitfalls=not args.no_pitfalls,
+            timeout=args.timeout, executor=executor, cache=args.cache_dir,
+            cache_verify=args.cache_verify, stats=stats,
+        )
+        if args.bgp_engine == "interval":
+            op_lives = bundle.op_lives
+            joint = bundle.joint
+        else:
+            from .lifetimes.bgp import build_operational_dataset
 
-        end = config.end_day
-        start = max(config.start_day, end - args.bgp_window + 1)
-        op_lives, _tables = build_operational_dataset(
-            bundle.world, start=start, end=end, timeout=args.timeout,
-            engine=args.bgp_engine, executor=args.jobs,
-            cache=args.cache_dir, stats=stats,
-        )
-        joint = JointAnalysis(
-            admin_lives=bundle.admin_lives,
-            op_lives=op_lives,
-            end_day=end,
-            topology=bundle.world.topology,
-            siblings=bundle.world.orgs.sibling_map(),
-            truth=bundle.world.events,
-        )
+            end = config.end_day
+            start = max(config.start_day, end - args.bgp_window + 1)
+            op_lives, _tables = build_operational_dataset(
+                bundle.world, start=start, end=end, timeout=args.timeout,
+                engine=args.bgp_engine, executor=executor,
+                cache=args.cache_dir, cache_verify=args.cache_verify,
+                stats=stats,
+            )
+            joint = JointAnalysis(
+                admin_lives=bundle.admin_lives,
+                op_lives=op_lives,
+                end_day=end,
+                topology=bundle.world.topology,
+                siblings=bundle.world.orgs.sibling_map(),
+                truth=bundle.world.events,
+            )
+    finally:
+        stats.drain_events_from(executor)
+        executor.close()
     args.out.mkdir(parents=True, exist_ok=True)
     admin_path = args.out / "admin_dataset.json"
     op_path = args.out / "operational_dataset.json"

@@ -208,6 +208,7 @@ def build_operational_dataset(
     engine: str = "columnar",
     executor: ExecutorSpec = None,
     cache: Union[ArtifactCache, str, Path, None] = None,
+    cache_verify: str = "sha256",
     stats: Optional[PipelineStats] = None,
     day_chunk: int = DEFAULT_DAY_CHUNK,
     full_rebuild_fraction: float = DEFAULT_REBUILD_FRACTION,
@@ -233,6 +234,8 @@ def build_operational_dataset(
     hit skips the stream/sanitize/visibility stages entirely, whichever
     engine ran first.  ``timeout``/``min_peers`` only shape the cheap
     segmentation stage and are deliberately outside the key.
+    ``cache_verify`` selects the integrity mode when ``cache`` is a
+    path (``"sha256"`` manifests, or ``"off"``).
 
     Returns ``(op_lives, tables)``.
     """
@@ -243,58 +246,70 @@ def build_operational_dataset(
     if stats is None:
         stats = PipelineStats()
     if cache is not None and not isinstance(cache, ArtifactCache):
-        cache = ArtifactCache(cache)
+        cache = ArtifactCache(cache, verify=cache_verify)
+    # resolve once so both the table build and the segmentation share
+    # one pool, and retry/degradation events have a single source
+    spec = executor
+    executor = resolve_executor(spec)
+    owns_executor = executor is not spec
 
-    tables: Optional[Dict[ASN, OperationalActivity]] = None
-    key: Optional[str] = None
-    if cache is not None:
-        key = cache.key_for(
-            artifact="activity-table",
-            table_version=ACTIVITY_TABLE_VERSION,
-            config=world.config,
-            start=start,
-            end=end,
-            min_corroboration=min_corroboration,
-        )
-        with stats.stage("cache:lookup") as timing:
-            tables = cache.load(key)
-            if tables is not None:
-                timing.items = len(tables)
-
-    if tables is None:
-        if engine == "columnar":
-            tables, report = build_world_activity_tables(
-                world,
+    try:
+        tables: Optional[Dict[ASN, OperationalActivity]] = None
+        key: Optional[str] = None
+        if cache is not None:
+            key = cache.key_for(
+                artifact="activity-table",
+                table_version=ACTIVITY_TABLE_VERSION,
+                config=world.config,
                 start=start,
                 end=end,
                 min_corroboration=min_corroboration,
-                executor=executor,
-                day_chunk=day_chunk,
-                full_rebuild_fraction=full_rebuild_fraction,
             )
-            stats.record("bgp:stream", report.stream_seconds,
-                         items=report.changed_days)
-            stats.record("bgp:sanitize", report.sanitize_seconds,
-                         items=report.elements)
-            stats.record("bgp:visibility", report.visibility_seconds,
-                         items=report.chunks)
-        else:
-            tables = _object_stream_tables(
-                world, start, end, min_corroboration, stats
-            )
-        if cache is not None and key is not None:
-            with stats.stage("cache:store", items=len(tables)):
-                cache.store(key, tables)
+            with stats.stage("cache:lookup") as timing:
+                tables = cache.load(key)
+                if tables is not None:
+                    timing.items = len(tables)
+            stats.drain_events_from(cache)
 
-    with stats.stage("bgp:segment") as timing:
-        op_lives = build_bgp_lifetimes(
-            tables,
-            timeout=timeout,
-            min_peers=min_peers,
-            end_day=end,
-            executor=executor,
-        )
-        timing.items = len(op_lives)
+        if tables is None:
+            if engine == "columnar":
+                tables, report = build_world_activity_tables(
+                    world,
+                    start=start,
+                    end=end,
+                    min_corroboration=min_corroboration,
+                    executor=executor,
+                    day_chunk=day_chunk,
+                    full_rebuild_fraction=full_rebuild_fraction,
+                )
+                stats.record("bgp:stream", report.stream_seconds,
+                             items=report.changed_days)
+                stats.record("bgp:sanitize", report.sanitize_seconds,
+                             items=report.elements)
+                stats.record("bgp:visibility", report.visibility_seconds,
+                             items=report.chunks)
+            else:
+                tables = _object_stream_tables(
+                    world, start, end, min_corroboration, stats
+                )
+            if cache is not None and key is not None:
+                with stats.stage("cache:store", items=len(tables)):
+                    cache.store(key, tables)
+                stats.drain_events_from(cache)
+
+        with stats.stage("bgp:segment") as timing:
+            op_lives = build_bgp_lifetimes(
+                tables,
+                timeout=timeout,
+                min_peers=min_peers,
+                end_day=end,
+                executor=executor,
+            )
+            timing.items = len(op_lives)
+    finally:
+        stats.drain_events_from(executor)
+        if owns_executor:
+            executor.close()
     return op_lives, tables
 
 

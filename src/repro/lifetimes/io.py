@@ -3,19 +3,29 @@
 The paper publishes two JSON datasets — administrative and operational
 lifetimes — for other works to build on.  These helpers write and read
 the same shape, so our datasets are drop-in comparable.
+
+Writes are atomic (unique temp file + ``os.replace``), so a crash mid
+export can never leave a torn half-dataset where a consumer expects a
+valid one — at worst the previous complete file survives.  Reads fail
+with a typed :class:`DatasetIOError` naming the file and the defect,
+instead of leaking a bare ``KeyError``/``JSONDecodeError`` from deep
+inside the parser.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 from pathlib import Path
-from typing import Dict, List, Mapping, Sequence, Union
+from typing import Any, Dict, List, Mapping, Sequence, Union
 
 from ..asn.numbers import ASN
 from ..timeline.dates import from_iso
 from .records import AdminLifetime, BgpLifetime
 
 __all__ = [
+    "DatasetIOError",
     "dump_admin_dataset",
     "dump_bgp_dataset",
     "load_admin_dataset",
@@ -23,6 +33,39 @@ __all__ = [
 ]
 
 PathLike = Union[str, Path]
+
+#: Uniquifier for temp names: pid alone collides across threads.
+_UNIQUE = itertools.count()
+
+
+class DatasetIOError(ValueError):
+    """A dataset file could not be parsed into lifetime records."""
+
+
+def _atomic_write_text(path: PathLike, text: str) -> None:
+    """Write a file atomically; on failure, no partial file remains."""
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}.{next(_UNIQUE)}")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _load_rows(path: PathLike, dataset: str) -> List[Dict[str, Any]]:
+    try:
+        rows = json.loads(Path(path).read_text())
+    except ValueError as exc:
+        raise DatasetIOError(
+            f"{dataset} dataset {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(rows, list):
+        raise DatasetIOError(
+            f"{dataset} dataset {path} must be a JSON array of records, "
+            f"got {type(rows).__name__}"
+        )
+    return rows
 
 
 def dump_admin_dataset(
@@ -34,7 +77,7 @@ def dump_admin_dataset(
         for asn in sorted(lifetimes)
         for life in lifetimes[asn]
     ]
-    Path(path).write_text(json.dumps(records, indent=1) + "\n")
+    _atomic_write_text(path, json.dumps(records, indent=1) + "\n")
     return len(records)
 
 
@@ -47,7 +90,7 @@ def dump_bgp_dataset(
         for asn in sorted(lifetimes)
         for life in lifetimes[asn]
     ]
-    Path(path).write_text(json.dumps(records, indent=1) + "\n")
+    _atomic_write_text(path, json.dumps(records, indent=1) + "\n")
     return len(records)
 
 
@@ -59,14 +102,20 @@ def load_admin_dataset(path: PathLike) -> Dict[ASN, List[AdminLifetime]]:
     collapses to the single ``registry`` field.
     """
     out: Dict[ASN, List[AdminLifetime]] = {}
-    for row in json.loads(Path(path).read_text()):
-        life = AdminLifetime(
-            asn=int(row["ASN"]),
-            start=from_iso(row["startdate"]),
-            end=from_iso(row["enddate"]),
-            reg_date=from_iso(row["regDate"]),
-            registries=(row["registry"],),
-        )
+    for i, row in enumerate(_load_rows(path, "administrative")):
+        try:
+            life = AdminLifetime(
+                asn=int(row["ASN"]),
+                start=from_iso(row["startdate"]),
+                end=from_iso(row["enddate"]),
+                reg_date=from_iso(row["regDate"]),
+                registries=(row["registry"],),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DatasetIOError(
+                f"administrative dataset {path}: record {i} is malformed "
+                f"({type(exc).__name__}: {exc})"
+            ) from exc
         out.setdefault(life.asn, []).append(life)
     for lives in out.values():
         lives.sort(key=lambda l: l.start)
@@ -76,12 +125,18 @@ def load_admin_dataset(path: PathLike) -> Dict[ASN, List[AdminLifetime]]:
 def load_bgp_dataset(path: PathLike) -> Dict[ASN, List[BgpLifetime]]:
     """Read an operational dataset written by :func:`dump_bgp_dataset`."""
     out: Dict[ASN, List[BgpLifetime]] = {}
-    for row in json.loads(Path(path).read_text()):
-        life = BgpLifetime(
-            asn=int(row["ASN"]),
-            start=from_iso(row["startdate"]),
-            end=from_iso(row["enddate"]),
-        )
+    for i, row in enumerate(_load_rows(path, "operational")):
+        try:
+            life = BgpLifetime(
+                asn=int(row["ASN"]),
+                start=from_iso(row["startdate"]),
+                end=from_iso(row["enddate"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DatasetIOError(
+                f"operational dataset {path}: record {i} is malformed "
+                f"({type(exc).__name__}: {exc})"
+            ) from exc
         out.setdefault(life.asn, []).append(life)
     for lives in out.values():
         lives.sort(key=lambda l: l.start)

@@ -6,18 +6,28 @@ reproduction pipeline the same operational shape.
 
 * :mod:`repro.runtime.executor` — pluggable serial / process-pool
   backends with a determinism contract: parallel output is bit-identical
-  to serial output.
+  to serial output.  Worker-pool failures are retried with backoff and
+  can degrade to serial execution with identical results.
 * :mod:`repro.runtime.cache` — content-addressed on-disk artifacts so
-  an already-built world is loaded, not re-simulated.
+  an already-built world is loaded, not re-simulated; entries carry
+  checksum manifests verified on load, and corrupt entries are
+  quarantined, never trusted and never deleted blind.
 * :mod:`repro.runtime.profiling` — per-stage wall time and fan-out
-  width, surfaced through ``simulate --profile`` and the scaling
-  benchmark.
+  width plus the runtime's degradation event log, surfaced through
+  ``simulate --profile`` and the scaling benchmark.
+* :mod:`repro.runtime.faults` — deterministic, seeded failure
+  injection (torn writes, disk full, worker death, ...) so every
+  failure mode the hardening claims to survive is provoked in tests
+  and CI.
 """
 
 from .cache import (
     ACTIVITY_TABLE_VERSION,
+    MANIFEST_FORMAT,
     PIPELINE_VERSION,
     ArtifactCache,
+    CacheError,
+    CacheStoreError,
     cache_key,
     dumps_with_gc_paused,
     fingerprint,
@@ -25,28 +35,45 @@ from .cache import (
 )
 from .executor import (
     DEFAULT_CHUNK_SIZE,
+    DEFAULT_RETRIES,
     PipelineExecutor,
     ProcessPoolBackend,
     SerialExecutor,
+    WorkerPoolError,
     chunked,
     resolve_executor,
+)
+from .faults import (
+    USE_ENV_FAULTS,
+    FaultEvent,
+    FaultInjector,
+    FaultSpec,
 )
 from .profiling import PipelineStats, StageTiming
 
 __all__ = [
     "PIPELINE_VERSION",
     "ACTIVITY_TABLE_VERSION",
+    "MANIFEST_FORMAT",
     "ArtifactCache",
+    "CacheError",
+    "CacheStoreError",
     "cache_key",
     "dumps_with_gc_paused",
     "fingerprint",
     "loads_with_gc_paused",
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_RETRIES",
     "PipelineExecutor",
     "ProcessPoolBackend",
     "SerialExecutor",
+    "WorkerPoolError",
     "chunked",
     "resolve_executor",
+    "USE_ENV_FAULTS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSpec",
     "PipelineStats",
     "StageTiming",
 ]

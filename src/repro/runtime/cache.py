@@ -11,12 +11,26 @@ parameters, and a pipeline version tag — so any change to any input
 repeated builds of the same world hit and skip everything.
 
 Entries are pickled with the highest protocol and written atomically
-(temp file + ``os.replace``), so concurrent builders — e.g. pytest-xdist
-workers racing on the benchmark bundle — can share one cache directory:
-both build, one rename wins, nobody observes a torn file.  Loads run
-with the cyclic garbage collector paused: unpickling millions of small
-interval/record objects is an order of magnitude faster without
-intermediate GC passes, and that speed is the whole point of a hit.
+(unique temp file + ``os.replace``), so concurrent builders — e.g.
+pytest-xdist workers racing on the benchmark bundle — can share one
+cache directory: both build, one rename wins, nobody observes a torn
+file.  Loads run with the cyclic garbage collector paused: unpickling
+millions of small interval/record objects is an order of magnitude
+faster without intermediate GC passes, and that speed is the whole
+point of a hit.
+
+Precomputed state is only useful if it can be *trusted* after crashes,
+so every entry carries a sidecar manifest (payload SHA-256, byte
+length, pipeline version) that is checked on load when ``verify`` is
+``"sha256"`` (the default).  An entry whose bytes do not match its
+manifest — a torn write that a crash made visible, bit rot, a
+truncated file — is moved to a ``quarantine/`` directory for post
+mortems and treated as a miss, and the artifact is rebuilt; an entry
+is never deleted blind, and a corrupt load can never return a wrong
+artifact silently.  Failed stores degrade gracefully by default (the
+built artifact is returned, the entry is simply not persisted, and the
+failure is surfaced in :attr:`ArtifactCache.events`); strict callers
+get a typed :class:`CacheStoreError` instead.
 """
 
 from __future__ import annotations
@@ -24,15 +38,22 @@ from __future__ import annotations
 import dataclasses
 import gc
 import hashlib
+import itertools
 import json
 import os
 import pickle
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Dict, List, Optional, Union
+
+from .faults import USE_ENV_FAULTS, FaultInjector, resolve_faults
 
 __all__ = [
     "PIPELINE_VERSION",
     "ACTIVITY_TABLE_VERSION",
+    "MANIFEST_FORMAT",
+    "USE_ENV_FAULTS",
+    "CacheError",
+    "CacheStoreError",
     "ArtifactCache",
     "fingerprint",
     "cache_key",
@@ -54,6 +75,31 @@ PIPELINE_VERSION = "2026.08-1"
 #: for the other — the scaling benchmark's determinism check relies on
 #: exactly this property.
 ACTIVITY_TABLE_VERSION = "activity-table/v1"
+
+#: Format tag of the per-entry sidecar manifest.
+MANIFEST_FORMAT = "artifact-manifest/v1"
+
+#: Payloads are pickled inside a tagged envelope so that a legitimately
+#: cached ``None`` (or any falsy artifact) is distinguishable from a
+#: miss — :meth:`ArtifactCache.get_or_build` must not rebuild forever
+#: just because the builder returned ``None``.
+_ENVELOPE_TAG = "repro/artifact-envelope/v1"
+
+#: Internal miss marker (never a valid artifact).
+_MISS = object()
+
+#: Per-process counter making temp/quarantine names unique across the
+#: threads of one process (the pid alone collides under pytest-xdist's
+#: in-process threads and any threaded caller).
+_UNIQUE = itertools.count()
+
+
+class CacheError(Exception):
+    """Base class for typed artifact-cache failures."""
+
+
+class CacheStoreError(CacheError):
+    """An artifact could not be persisted (and the caller asked to know)."""
 
 
 def fingerprint(obj: Any) -> Any:
@@ -119,66 +165,292 @@ def loads_with_gc_paused(blob: bytes) -> Any:
 
 
 class ArtifactCache:
-    """A directory of content-addressed pickled artifacts."""
+    """A directory of content-addressed pickled artifacts.
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    Parameters
+    ----------
+    verify:
+        ``"sha256"`` (default) checks every loaded payload against its
+        sidecar manifest; ``"off"`` trusts unpickling alone (manifests
+        are still written, so the same directory can be re-opened
+        verified later).
+    faults:
+        A :class:`~repro.runtime.faults.FaultInjector` to consult at
+        the cache's failure-prone points, ``None`` for no injection, or
+        the default :data:`USE_ENV_FAULTS` to pick up the ambient
+        environment-configured injector (the CI fault-injection run).
+    strict_store:
+        When true, a failed :meth:`store` raises
+        :class:`CacheStoreError` instead of degrading to "built but not
+        persisted".
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        verify: str = "sha256",
+        faults: Any = USE_ENV_FAULTS,
+        strict_store: bool = False,
+    ) -> None:
+        if verify not in ("off", "sha256"):
+            raise ValueError(f"unknown verify mode {verify!r}")
         self.root = Path(root)
+        self.verify = verify
+        self.faults: Optional[FaultInjector] = resolve_faults(faults)
+        self.strict_store = strict_store
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self.quarantined = 0
+        self.store_failures = 0
+        #: Human-readable log of degradations (quarantines, failed
+        #: stores); pipeline drivers drain this into
+        #: :attr:`~repro.runtime.profiling.PipelineStats.events`.
+        self.events: List[str] = []
+
+    # -- paths ---------------------------------------------------------
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
+
+    def manifest_path_for(self, key: str) -> Path:
+        return self.root / f"{key}.manifest.json"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
 
     def key_for(self, **parts: Any) -> str:
         """Key for artifact-determining parts (version tag included)."""
         parts.setdefault("pipeline_version", PIPELINE_VERSION)
         return cache_key(**parts)
 
+    # -- loading -------------------------------------------------------
+
+    def _read_payload(self, path: Path) -> Optional[bytes]:
+        try:
+            if self.faults is not None:
+                self.faults.on_read(path)
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    def _read_manifest(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            manifest = json.loads(self.manifest_path_for(key).read_text())
+        except (OSError, ValueError):
+            return None
+        return manifest if isinstance(manifest, dict) else None
+
+    @staticmethod
+    def _manifest_matches(manifest: Optional[Dict[str, Any]], blob: bytes) -> bool:
+        return (
+            manifest is not None
+            and manifest.get("length") == len(blob)
+            and manifest.get("sha256") == hashlib.sha256(blob).hexdigest()
+        )
+
+    def _quarantine(self, path: Path, observed: bytes) -> None:
+        """Move the bad entry aside — but only the bytes actually read.
+
+        A plain ``unlink(path)`` races with concurrent builders: a
+        fresh, valid entry that another process just ``os.replace``-d
+        in would be deleted on the evidence of stale bytes.  Instead:
+        move the entry into ``quarantine/`` (atomic), then verify the
+        moved bytes are the ones this reader judged corrupt; if they
+        are not, a fresh entry raced in and is put straight back.
+        """
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return  # cannot quarantine; the rebuild's store overwrites it
+        qpath = self.quarantine_dir / (
+            f"{path.name}.{os.getpid()}.{next(_UNIQUE)}"
+        )
+        try:
+            os.replace(path, qpath)
+        except OSError:
+            return  # already gone (e.g. another reader quarantined it)
+        try:
+            moved = qpath.read_bytes()
+        except OSError:
+            return
+        if moved != observed:
+            # a fresh entry landed between our read and the move:
+            # restore it — it was never the corrupt bytes we saw
+            try:
+                os.replace(qpath, path)
+            except OSError:
+                pass
+            return
+        self.quarantined += 1
+        self.events.append(
+            f"cache: quarantined corrupt entry {path.name} -> {qpath.name}"
+        )
+
+    def _verified_payload(self, key: str, path: Path, blob: bytes) -> Optional[bytes]:
+        """The payload bytes iff they match the sidecar manifest."""
+        if self._manifest_matches(self._read_manifest(key), blob):
+            return blob
+        # One fresh re-read closes the benign race where a concurrent
+        # store's two renames (manifest, then payload) were observed
+        # halfway through; after both land, fresh reads are consistent.
+        fresh = self._read_payload(path)
+        manifest = self._read_manifest(key)
+        if fresh is not None and self._manifest_matches(manifest, fresh):
+            return fresh
+        if manifest is None:
+            # Unverifiable, not provably corrupt (legacy entry or a
+            # lost manifest): miss, but leave the payload in place for
+            # the rebuild's store to overwrite.
+            self.events.append(
+                f"cache: entry {key[:12]} has no manifest; treating as miss"
+            )
+            return None
+        self.corrupt += 1
+        self.events.append(
+            f"cache: entry {key[:12]} failed sha256 verification"
+        )
+        self._quarantine(path, fresh if fresh is not None else blob)
+        return None
+
+    def lookup(self, key: str) -> Any:
+        """The cached artifact, or the module-private miss marker.
+
+        Unlike :meth:`load`, a cached ``None`` is distinguishable from
+        a miss — this is what :meth:`get_or_build` consults.
+        """
+        path = self.path_for(key)
+        blob = self._read_payload(path)
+        if blob is None:
+            self.misses += 1
+            return _MISS
+        if self.verify == "sha256":
+            blob = self._verified_payload(key, path, blob)
+            if blob is None:
+                self.misses += 1
+                return _MISS
+        try:
+            obj = loads_with_gc_paused(blob)
+        except Exception:
+            self.corrupt += 1
+            self.events.append(f"cache: entry {key[:12]} failed to unpickle")
+            self._quarantine(path, blob)
+            self.misses += 1
+            return _MISS
+        self.hits += 1
+        if (
+            isinstance(obj, tuple)
+            and len(obj) == 2
+            and obj[0] == _ENVELOPE_TAG
+        ):
+            return obj[1]
+        return obj  # legacy entry written before envelopes
+
     def load(self, key: str) -> Optional[Any]:
         """Return the cached artifact, or ``None`` on a miss.
 
-        A corrupt or unreadable entry counts as a miss and is removed,
-        so a crashed writer can never poison later runs.
+        A corrupt or unreadable entry counts as a miss and is
+        quarantined, so a crashed writer can never poison later runs.
+        (``None`` is ambiguous here by design — callers caching
+        possibly-``None`` artifacts go through :meth:`get_or_build`.)
         """
-        path = self.path_for(key)
-        try:
-            blob = path.read_bytes()
-        except OSError:
-            self.misses += 1
-            return None
-        try:
-            artifact = loads_with_gc_paused(blob)
-        except Exception:
-            self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
-        self.hits += 1
-        return artifact
+        value = self.lookup(key)
+        return None if value is _MISS else value
 
-    def store(self, key: str, artifact: Any) -> Path:
-        """Atomically persist an artifact under its key."""
-        self.root.mkdir(parents=True, exist_ok=True)
+    # -- storing -------------------------------------------------------
+
+    def store(
+        self, key: str, artifact: Any, *, strict: Optional[bool] = None
+    ) -> Optional[Path]:
+        """Atomically persist an artifact (payload + manifest).
+
+        On I/O failure (disk full, read-only directory, ...) the
+        partially written temp files are always removed; by default the
+        failure is recorded in :attr:`events` and ``None`` is returned
+        — the pipeline continues with the freshly built artifact,
+        merely uncached.  With ``strict`` (or ``strict_store=True`` on
+        the cache) a :class:`CacheStoreError` is raised instead.
+        """
+        strict = self.strict_store if strict is None else strict
+        try:
+            blob = dumps_with_gc_paused((_ENVELOPE_TAG, artifact))
+        except Exception as exc:
+            # an unpicklable artifact is a caller bug, never degraded
+            raise CacheStoreError(
+                f"artifact for {key} is not picklable: {exc}"
+            ) from exc
+        manifest_blob = json.dumps(
+            {
+                "format": MANIFEST_FORMAT,
+                "sha256": hashlib.sha256(blob).hexdigest(),
+                "length": len(blob),
+                "pipeline_version": PIPELINE_VERSION,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+
         path = self.path_for(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_bytes(dumps_with_gc_paused(artifact))
-        os.replace(tmp, path)
+        uniq = f"tmp.{os.getpid()}.{next(_UNIQUE)}"
+        tmp_payload = self.root / f"{key}.pkl.{uniq}"
+        tmp_manifest = self.root / f"{key}.manifest.json.{uniq}"
+        try:
+            try:
+                self.root.mkdir(parents=True, exist_ok=True)
+                if self.faults is not None:
+                    self.faults.on_write(tmp_manifest, manifest_blob)
+                tmp_manifest.write_bytes(manifest_blob)
+                payload_bytes = (
+                    blob if self.faults is None else self.faults.mangle_write(blob)
+                )
+                if self.faults is not None:
+                    self.faults.on_write(tmp_payload, payload_bytes)
+                tmp_payload.write_bytes(payload_bytes)
+                # publish the manifest first, the payload second: the
+                # instant a payload becomes visible, a matching
+                # manifest is already beside it (the reverse order
+                # would widen the mismatch window for verified readers)
+                if self.faults is not None:
+                    self.faults.on_replace(tmp_manifest, self.manifest_path_for(key))
+                os.replace(tmp_manifest, self.manifest_path_for(key))
+                if self.faults is not None:
+                    self.faults.on_replace(tmp_payload, path)
+                os.replace(tmp_payload, path)
+            finally:
+                # whatever failed above, never leak temp files
+                for tmp in (tmp_payload, tmp_manifest):
+                    tmp.unlink(missing_ok=True)
+        except OSError as exc:
+            self.store_failures += 1
+            self.events.append(
+                f"cache: store of {key[:12]} failed ({exc}); continuing uncached"
+            )
+            if strict:
+                raise CacheStoreError(
+                    f"could not store artifact {key}: {exc}"
+                ) from exc
+            return None
         return path
 
     def get_or_build(self, key: str, builder) -> Any:
-        """Load the artifact for ``key``, building and storing on a miss."""
-        artifact = self.load(key)
-        if artifact is None:
-            artifact = builder()
-            self.store(key, artifact)
-        return artifact
+        """Load the artifact for ``key``, building and storing on a miss.
+
+        Builders may legitimately return ``None``; the envelope makes a
+        cached ``None`` hit instead of rebuilding forever.
+        """
+        value = self.lookup(key)
+        if value is _MISS:
+            value = builder()
+            self.store(key, value)
+        return value
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<ArtifactCache {self.root} hits={self.hits} misses={self.misses}>"
+            f"<ArtifactCache {self.root} verify={self.verify} "
+            f"hits={self.hits} misses={self.misses} "
+            f"quarantined={self.quarantined}>"
         )

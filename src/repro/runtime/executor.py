@@ -18,21 +18,39 @@ The determinism contract (see DESIGN.md) is that every backend yields
 * tasks are pure functions of their payload (workers never mutate
   shared state), so merging chunk results in input order reproduces
   the serial result exactly.
+
+Purity buys fault tolerance for free: because re-running a task cannot
+change its result, a fan-out whose worker pool died
+(:class:`~concurrent.futures.process.BrokenProcessPool` — an OOM kill,
+a segfaulting extension, a stray ``kill -9``) can simply be retried on
+a fresh pool, and if the pool keeps dying the same items can run
+inline on the :class:`SerialExecutor` path with identical output.
+:class:`ProcessPoolBackend` does exactly that: bounded
+retry-with-backoff, then either a typed :class:`WorkerPoolError` or —
+with ``on_failure="serial"`` — permanent degradation to inline
+execution, surfaced via :attr:`ProcessPoolBackend.events` and from
+there in :class:`~repro.runtime.profiling.PipelineStats`.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor as _StdProcessPool
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+
+from .faults import USE_ENV_FAULTS, FaultInjector, resolve_faults
 
 __all__ = [
     "PipelineExecutor",
     "SerialExecutor",
     "ProcessPoolBackend",
+    "WorkerPoolError",
     "resolve_executor",
     "chunked",
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_RETRIES",
 ]
 
 T = TypeVar("T")
@@ -43,7 +61,26 @@ R = TypeVar("R")
 #: are identical under every backend.
 DEFAULT_CHUNK_SIZE = 512
 
+#: Default retry budget for transient worker-pool failures: a fan-out
+#: gets ``1 + DEFAULT_RETRIES`` attempts before the backend gives up
+#: (raises or degrades to serial, per ``on_failure``).
+DEFAULT_RETRIES = 2
+
 ExecutorSpec = Union[None, int, str, "PipelineExecutor"]
+
+#: Failures worth retrying on a fresh pool: the pool itself broke
+#: (worker death) or the OS refused resources (fork/pipe exhaustion).
+#: Exceptions raised by the task function are *not* retried — tasks
+#: are pure, so a task error is deterministic and propagates.
+_TRANSIENT_POOL_ERRORS = (BrokenProcessPool, OSError)
+
+
+class WorkerPoolError(RuntimeError):
+    """A worker-pool fan-out failed even after its retry budget."""
+
+    def __init__(self, message: str, *, attempts: int) -> None:
+        super().__init__(message)
+        self.attempts = attempts
 
 
 class PipelineExecutor:
@@ -90,29 +127,112 @@ class ProcessPoolBackend(PipelineExecutor):
     so one ``build_datasets`` run pays the worker start-up cost once.
     Task functions and payloads must be picklable (all pipeline tasks
     are module-level functions over plain dataclasses).
+
+    Parameters
+    ----------
+    retries:
+        Extra attempts after a transient pool failure
+        (:class:`BrokenProcessPool` or an ``OSError`` spawning
+        workers); each retry discards the broken pool, sleeps an
+        exponentially growing ``backoff``, and re-dispatches the same
+        items (safe: tasks are pure).
+    on_failure:
+        What to do when the retry budget is exhausted: ``"raise"``
+        (default) raises :class:`WorkerPoolError`; ``"serial"``
+        permanently degrades this backend to inline execution —
+        identical output, no workers — and records the degradation in
+        :attr:`events`.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultInjector` consulted
+        before each dispatch (deterministic worker-death drills); the
+        default picks up the ambient environment-configured injector.
     """
 
     name = "process"
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        *,
+        retries: int = DEFAULT_RETRIES,
+        backoff: float = 0.05,
+        on_failure: str = "raise",
+        faults: Any = USE_ENV_FAULTS,
+    ) -> None:
         if jobs is not None and jobs < 2:
             raise ValueError("ProcessPoolBackend needs at least 2 jobs")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if on_failure not in ("raise", "serial"):
+            raise ValueError(f"unknown on_failure policy {on_failure!r}")
+        # An explicit jobs < 2 is rejected above; an *implicit* resolve
+        # on a single-core host degrades to inline execution instead of
+        # paying for a pointless 1-worker pool.
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 2)
+        self.retries = retries
+        self.backoff = backoff
+        self.on_failure = on_failure
+        self.faults: Optional[FaultInjector] = resolve_faults(faults)
         self._pool: Optional[_StdProcessPool] = None
+        #: True once the backend has permanently fallen back to inline
+        #: execution (``on_failure="serial"`` after exhausted retries).
+        self.degraded = False
+        #: Count of transient pool failures survived via retry.
+        self.retry_count = 0
+        #: Human-readable log of retries/degradations; pipeline drivers
+        #: drain this into :class:`~repro.runtime.profiling.PipelineStats`.
+        self.events: List[str] = []
 
     def _ensure_pool(self) -> _StdProcessPool:
         if self._pool is None:
             self._pool = _StdProcessPool(max_workers=self.jobs)
         return self._pool
 
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            # the pool is broken: don't wait for dead workers
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         items = list(items)
         if not items:
             return []
-        if len(items) == 1:
-            # avoid a pointless round-trip through the pool
-            return [fn(items[0])]
-        return list(self._ensure_pool().map(fn, items))
+        if self.degraded or self.jobs < 2 or len(items) == 1:
+            # degraded backends, single-core resolves, and single-item
+            # fan-outs all skip the pool round-trip entirely
+            return [fn(item) for item in items]
+        attempts = self.retries + 1
+        last_exc: Optional[BaseException] = None
+        for attempt in range(attempts):
+            try:
+                if self.faults is not None:
+                    self.faults.on_worker_dispatch()
+                return list(self._ensure_pool().map(fn, items))
+            except _TRANSIENT_POOL_ERRORS as exc:
+                last_exc = exc
+                self._discard_pool()
+                remaining = attempts - attempt - 1
+                self.events.append(
+                    f"executor: worker pool failed ({type(exc).__name__}: "
+                    f"{exc}); {remaining} retr{'y' if remaining == 1 else 'ies'} left"
+                )
+                if remaining > 0:
+                    self.retry_count += 1
+                    if self.backoff > 0:
+                        time.sleep(self.backoff * (2 ** attempt))
+        if self.on_failure == "serial":
+            self.degraded = True
+            self.events.append(
+                f"executor: degraded to serial after {attempts} failed "
+                f"attempts ({type(last_exc).__name__})"
+            )
+            return [fn(item) for item in items]
+        raise WorkerPoolError(
+            f"worker pool failed {attempts} time(s); last error: "
+            f"{type(last_exc).__name__}: {last_exc}",
+            attempts=attempts,
+        ) from last_exc
 
     def close(self) -> None:
         if self._pool is not None:
@@ -120,13 +240,30 @@ class ProcessPoolBackend(PipelineExecutor):
             self._pool = None
 
 
-def resolve_executor(spec: ExecutorSpec = None) -> PipelineExecutor:
+def resolve_executor(
+    spec: ExecutorSpec = None,
+    *,
+    retries: int = DEFAULT_RETRIES,
+    on_failure: str = "raise",
+) -> PipelineExecutor:
     """Turn a user-facing spec into an executor.
 
     Accepts ``None`` / ``0`` / ``1`` (serial), an integer job count
     (process pool), the strings ``"serial"``, ``"process"`` or
     ``"process:N"``, or an existing executor (returned unchanged).
+    Every spec that resolves to one worker — the int ``1``, the string
+    ``"process:1"``, or ``"process"`` on a single-core host — yields a
+    :class:`SerialExecutor`, never a 1-worker pool.  ``retries`` and
+    ``on_failure`` configure any :class:`ProcessPoolBackend` this
+    resolves (existing executor instances keep their own settings).
     """
+
+    def pool(jobs: Optional[int]) -> PipelineExecutor:
+        resolved = jobs if jobs is not None else (os.cpu_count() or 2)
+        if resolved <= 1:
+            return SerialExecutor()
+        return ProcessPoolBackend(resolved, retries=retries, on_failure=on_failure)
+
     if spec is None:
         return SerialExecutor()
     if isinstance(spec, PipelineExecutor):
@@ -134,14 +271,14 @@ def resolve_executor(spec: ExecutorSpec = None) -> PipelineExecutor:
     if isinstance(spec, bool):  # bool is an int; reject it explicitly
         raise TypeError("executor spec must be None, int, str or PipelineExecutor")
     if isinstance(spec, int):
-        return SerialExecutor() if spec <= 1 else ProcessPoolBackend(spec)
+        return pool(spec)
     if isinstance(spec, str):
         if spec == "serial":
             return SerialExecutor()
         if spec == "process":
-            return ProcessPoolBackend()
+            return pool(None)
         if spec.startswith("process:"):
-            return ProcessPoolBackend(int(spec.split(":", 1)[1]))
+            return pool(int(spec.split(":", 1)[1]))
         raise ValueError(f"unknown executor spec {spec!r}")
     raise TypeError("executor spec must be None, int, str or PipelineExecutor")
 

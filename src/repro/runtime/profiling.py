@@ -36,10 +36,30 @@ class StageTiming:
 
 @dataclass
 class PipelineStats:
-    """Ordered per-stage timings of one pipeline run."""
+    """Ordered per-stage timings of one pipeline run.
+
+    Besides timings, a run accumulates :attr:`events` — the runtime's
+    degradation log (cache quarantines, failed stores, worker-pool
+    retries, serial fallback).  A clean run has an empty list; anything
+    in it means the pipeline survived a fault and how.
+    """
 
     backend: str = "serial"
     stages: List[StageTiming] = field(default_factory=list)
+    events: List[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        """Record one runtime event (retry, quarantine, degradation)."""
+        self.events.append(message)
+
+    def drain_events_from(self, *sources: object) -> None:
+        """Move the ``events`` logs of caches/executors into this run."""
+        for source in sources:
+            log = getattr(source, "events", None)
+            if not log:
+                continue
+            self.events.extend(str(event) for event in log)
+            log.clear()
 
     @contextmanager
     def stage(self, name: str, items: Optional[int] = None) -> Iterator[StageTiming]:
@@ -83,6 +103,9 @@ class PipelineStats:
             lines.append(
                 f"{stage.name:<28} {stage.seconds:>9.3f} {share:>6.1%} {items:>8}"
             )
+        if self.events:
+            lines.append(f"runtime events ({len(self.events)}):")
+            lines.extend(f"  {event}" for event in self.events)
         return "\n".join(lines)
 
     def compare(

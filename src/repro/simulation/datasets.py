@@ -179,6 +179,7 @@ def build_datasets(
     jobs: Optional[int] = None,
     executor: ExecutorSpec = None,
     cache: Union[ArtifactCache, str, Path, None] = None,
+    cache_verify: str = "sha256",
     stats: Optional[PipelineStats] = None,
 ) -> DatasetBundle:
     """Run the full pipeline for one world configuration.
@@ -199,14 +200,21 @@ def build_datasets(
         restoration, and lifetime inference entirely and returns a
         partitioned bundle whose components are decoded on first
         access; a finished build is stored for the next caller.
+    cache_verify:
+        Integrity mode used when ``cache`` is given as a path:
+        ``"sha256"`` (default) checks loaded entries against their
+        sidecar manifests, ``"off"`` trusts unpickling alone.  Ignored
+        for an already-constructed :class:`ArtifactCache`.
     stats:
         Optional :class:`~repro.runtime.profiling.PipelineStats`
-        collecting per-stage wall times and item counts.
+        collecting per-stage wall times, item counts, and the
+        runtime's degradation events (quarantines, worker retries,
+        serial fallback).
     """
     if config is None:
         config = tiny()
     if cache is not None and not isinstance(cache, ArtifactCache):
-        cache = ArtifactCache(cache)
+        cache = ArtifactCache(cache, verify=cache_verify)
     stats = stats if stats is not None else PipelineStats()
 
     key: Optional[str] = None
@@ -221,6 +229,7 @@ def build_datasets(
         )
         with stats.stage("cache:lookup") as timing:
             artifact = cache.load(key)
+        stats.drain_events_from(cache)
         if artifact is not None:
             timing.items = 1
             if (
@@ -241,6 +250,9 @@ def build_datasets(
             timeout=timeout, min_peers=min_peers,
         )
     finally:
+        stats.drain_events_from(executor)
+        if getattr(executor, "degraded", False):
+            stats.backend = f"{executor.name}/degraded-serial"
         if owns_executor:
             executor.close()
 
@@ -249,6 +261,7 @@ def build_datasets(
             cache.store(
                 key, {"format": _PARTS_FORMAT, "parts": bundle._to_parts()}
             )
+        stats.drain_events_from(cache)
     return bundle
 
 

@@ -23,6 +23,25 @@ class TestParser:
         )
         assert args.dormancy == 500
 
+    def test_simulate_fault_tolerance_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.cache_verify == "sha256"
+        assert args.retries == 2
+        assert args.on_worker_failure == "serial"
+
+    def test_simulate_fault_tolerance_flags(self):
+        args = build_parser().parse_args([
+            "simulate", "--cache-verify", "off",
+            "--retries", "5", "--on-worker-failure", "raise",
+        ])
+        assert args.cache_verify == "off"
+        assert args.retries == 5
+        assert args.on_worker_failure == "raise"
+
+    def test_rejects_unknown_cache_verify_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--cache-verify", "md5"])
+
 
 class TestCommands:
     def test_simulate_then_analyze_then_hunt(self, tmp_path, capsys):
@@ -49,6 +68,23 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "match the filter" in out
+
+    def test_simulate_with_verified_cache(self, tmp_path, capsys):
+        argv = [
+            "simulate", "--scale", "0.006", "--seed", "3",
+            "--out", str(tmp_path / "data"),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--cache-verify", "sha256", "--profile",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "cache:store" in cold
+        # second run is a verified warm hit; datasets are identical
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "cache:lookup" in warm
+        admin = (tmp_path / "data" / "admin_dataset.json").read_text()
+        assert json.loads(admin)  # valid dataset after warm rebuild
 
     def test_export_mirror(self, tmp_path, capsys):
         rc = main([

@@ -6,6 +6,9 @@ everything exactly once, restoration never leaves overlapping rows,
 heavier defect loads never crash the pipeline.
 """
 
+import shutil
+import tempfile
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -13,6 +16,7 @@ from hypothesis import strategies as st
 from repro.core import Category, classify
 from repro.core.report import render_report
 from repro.rir import PitfallConfig
+from repro.runtime import ArtifactCache, dumps_with_gc_paused
 from repro.simulation import WorldConfig, build_datasets, tiny
 
 # building a world is ~1s; keep hypothesis example counts low
@@ -125,6 +129,34 @@ def test_restoration_survives_heavier_defect_loads(missing, drops):
     truth = len(bundle.world.lives)
     recovered = bundle.joint.total_admin_lifetimes()
     assert abs(recovered - truth) / truth < 0.25
+
+
+@settings(max_examples=3, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_warm_verified_hit_is_byte_identical_to_cold_build(seed):
+    """A checksum-verified warm hit never diverges from a cold build.
+
+    This is the cache's no-silent-wrong-answer contract: whatever the
+    verification layer does (manifest reads, re-reads, quarantines), a
+    hit must hand back *exactly* the artifact a cacheless run builds —
+    compared on pickled bytes, not just equality.
+    """
+    config = WorldConfig(seed=seed, scale=0.004)
+    cold = build_datasets(config)
+    # tempfile instead of tmp_path: function-scoped fixtures do not
+    # combine with @given (one fixture instance spans all examples)
+    root = tempfile.mkdtemp(prefix="repro-cache-prop-")
+    try:
+        cache = ArtifactCache(root, verify="sha256", faults=None)
+        stored = build_datasets(config, cache=cache)
+        warm = build_datasets(config, cache=cache)
+        assert cache.hits == 1
+        for part in ("admin_lives", "op_lives"):
+            cold_bytes = dumps_with_gc_paused(getattr(cold, part))
+            assert dumps_with_gc_paused(getattr(stored, part)) == cold_bytes
+            assert dumps_with_gc_paused(getattr(warm, part)) == cold_bytes
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
 
 
 class TestReportRendering:

@@ -59,9 +59,16 @@ class TestCacheKey:
         assert cache_key(config=_Cfg(x=1)) != cache_key(config=_Cfg(x=2))
 
 
+def _clean_cache(root, **kwargs) -> ArtifactCache:
+    """A cache with fault injection off, for tests pinning exact
+    hit/miss bookkeeping (the CI suite also runs under ambient
+    REPRO_FAULT_SEED injection, which would skew the counters)."""
+    return ArtifactCache(root, faults=None, **kwargs)
+
+
 class TestArtifactCache:
     def test_miss_then_hit(self, tmp_path):
-        cache = ArtifactCache(tmp_path)
+        cache = _clean_cache(tmp_path)
         key = cache.key_for(artifact="t", n=1)
         assert cache.load(key) is None
         cache.store(key, {"payload": [1, 2, 3]})
@@ -78,7 +85,7 @@ class TestArtifactCache:
         assert implicit != bumped
 
     def test_config_change_invalidates(self, tmp_path):
-        cache = ArtifactCache(tmp_path)
+        cache = _clean_cache(tmp_path)
         base = tiny()
         key = cache.key_for(artifact="bundle", config=base)
         cache.store(key, "built-for-base")
@@ -87,7 +94,7 @@ class TestArtifactCache:
         assert cache.load(key) == "built-for-base"
 
     def test_get_or_build_builds_once(self, tmp_path):
-        cache = ArtifactCache(tmp_path)
+        cache = _clean_cache(tmp_path)
         key = cache.key_for(artifact="t")
         calls = []
 
@@ -99,23 +106,96 @@ class TestArtifactCache:
         assert cache.get_or_build(key, builder) == "artifact"
         assert len(calls) == 1
 
+    def test_get_or_build_caches_none(self, tmp_path):
+        # a builder legitimately returning None must hit on the second
+        # call, not rebuild forever (the envelope distinguishes a
+        # cached None from a miss)
+        cache = _clean_cache(tmp_path)
+        key = cache.key_for(artifact="maybe-empty")
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return None
+
+        assert cache.get_or_build(key, builder) is None
+        assert cache.get_or_build(key, builder) is None
+        assert len(calls) == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_get_or_build_caches_falsy_values(self, tmp_path):
+        cache = _clean_cache(tmp_path)
+        for i, value in enumerate(([], {}, 0, "")):
+            key = cache.key_for(artifact="falsy", n=i)
+            assert cache.get_or_build(key, lambda v=value: v) == value
+            assert cache.get_or_build(key, lambda: pytest.fail("rebuilt")) == value
+
     def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
-        cache = ArtifactCache(tmp_path)
+        cache = _clean_cache(tmp_path)
         key = cache.key_for(artifact="t")
         cache.store(key, "ok")
         cache.path_for(key).write_bytes(b"not a pickle")
         assert cache.load(key) is None
         assert key not in cache
+        # removed from the entry directory, but preserved in quarantine
+        assert cache.quarantined == 1
+        assert list(cache.quarantine_dir.iterdir())
+
+    def test_store_writes_sidecar_manifest(self, tmp_path):
+        import hashlib
+        import json
+
+        from repro.runtime import MANIFEST_FORMAT
+
+        cache = _clean_cache(tmp_path)
+        key = cache.key_for(artifact="t")
+        cache.store(key, "payload")
+        manifest = json.loads(cache.manifest_path_for(key).read_text())
+        blob = cache.path_for(key).read_bytes()
+        assert manifest["format"] == MANIFEST_FORMAT
+        assert manifest["length"] == len(blob)
+        assert manifest["sha256"] == hashlib.sha256(blob).hexdigest()
+        assert manifest["pipeline_version"] == PIPELINE_VERSION
+
+    def test_verify_off_round_trips(self, tmp_path):
+        cache = _clean_cache(tmp_path, verify="off")
+        key = cache.key_for(artifact="t")
+        cache.store(key, [1, 2, 3])
+        assert cache.load(key) == [1, 2, 3]
+        # manifests are still written, so re-opening verified works
+        assert _clean_cache(tmp_path).load(key) == [1, 2, 3]
+
+    def test_rejects_unknown_verify_mode(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactCache(tmp_path, verify="md5")
 
     def test_store_leaves_no_temp_files(self, tmp_path):
-        cache = ArtifactCache(tmp_path)
+        cache = _clean_cache(tmp_path)
         cache.store(cache.key_for(artifact="t"), list(range(100)))
         leftovers = [p for p in tmp_path.iterdir() if ".tmp" in p.name]
         assert leftovers == []
 
     def test_store_overwrites_atomically(self, tmp_path):
-        cache = ArtifactCache(tmp_path)
+        cache = _clean_cache(tmp_path)
         key = cache.key_for(artifact="t")
         cache.store(key, "v1")
         cache.store(key, "v2")
         assert cache.load(key) == "v2"
+
+    def test_concurrent_threaded_stores_cannot_collide(self, tmp_path):
+        # pid-only temp names collide across threads of one process;
+        # the uniquifier makes every store's temp files distinct, so
+        # racing stores of the same key leave one valid winner
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = _clean_cache(tmp_path)
+        key = cache.key_for(artifact="racy")
+        payload = list(range(2000))
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for result in pool.map(
+                lambda _: cache.store(key, payload), range(32)
+            ):
+                assert result is not None
+        assert cache.store_failures == 0
+        assert cache.load(key) == payload
+        assert not [p for p in tmp_path.iterdir() if ".tmp" in p.name]

@@ -42,12 +42,16 @@ class TestSerialExecutor:
 
 
 class TestProcessPoolBackend:
+    # faults=None throughout: these tests pin exact pool lifecycle
+    # behaviour, which ambient REPRO_FAULT_SEED injection (the CI
+    # fault-injection run) would perturb with retries
+
     def test_map_preserves_order(self):
-        with ProcessPoolBackend(2) as ex:
+        with ProcessPoolBackend(2, faults=None) as ex:
             assert ex.map(_square, list(range(10))) == [i * i for i in range(10)]
 
     def test_single_item_runs_inline(self):
-        ex = ProcessPoolBackend(2)
+        ex = ProcessPoolBackend(2, faults=None)
         try:
             assert ex.map(_square, [7]) == [49]
             # the single-item shortcut must not have spun up the pool
@@ -56,14 +60,14 @@ class TestProcessPoolBackend:
             ex.close()
 
     def test_empty_map(self):
-        ex = ProcessPoolBackend(2)
+        ex = ProcessPoolBackend(2, faults=None)
         try:
             assert ex.map(_square, []) == []
         finally:
             ex.close()
 
     def test_pool_reused_across_stages(self):
-        with ProcessPoolBackend(2) as ex:
+        with ProcessPoolBackend(2, faults=None) as ex:
             ex.map(_square, [1, 2, 3])
             pool = ex._pool
             ex.map(_square, [4, 5, 6])
@@ -73,8 +77,16 @@ class TestProcessPoolBackend:
         with pytest.raises(ValueError):
             ProcessPoolBackend(1)
 
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(2, retries=-1)
+
+    def test_rejects_unknown_on_failure_policy(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(2, on_failure="shrug")
+
     def test_close_releases_pool(self):
-        ex = ProcessPoolBackend(2)
+        ex = ProcessPoolBackend(2, faults=None)
         ex.map(_square, [1, 2])
         ex.close()
         assert ex._pool is None
@@ -85,9 +97,20 @@ class TestResolveExecutor:
     def test_none_is_serial(self):
         assert isinstance(resolve_executor(None), SerialExecutor)
 
-    @pytest.mark.parametrize("spec", [0, 1, "serial"])
+    @pytest.mark.parametrize(
+        "spec", [0, 1, "serial", "process:1", "process:0"]
+    )
     def test_serial_specs(self, spec):
+        # any spec resolving to one worker — including the string forms
+        # "process:1"/"process:0" — must yield a SerialExecutor, never
+        # a 1-worker pool
         assert isinstance(resolve_executor(spec), SerialExecutor)
+
+    def test_process_on_single_core_host_is_serial(self, monkeypatch):
+        import repro.runtime.executor as executor_mod
+
+        monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 1)
+        assert isinstance(resolve_executor("process"), SerialExecutor)
 
     def test_int_spec_sets_jobs(self):
         ex = resolve_executor(3)
@@ -99,6 +122,13 @@ class TestResolveExecutor:
         ex = resolve_executor("process:4")
         assert isinstance(ex, ProcessPoolBackend)
         assert ex.jobs == 4
+        ex.close()
+
+    def test_retry_policy_forwarded_to_pool(self):
+        ex = resolve_executor(3, retries=5, on_failure="serial")
+        assert isinstance(ex, ProcessPoolBackend)
+        assert ex.retries == 5
+        assert ex.on_failure == "serial"
         ex.close()
 
     def test_existing_executor_passes_through(self):

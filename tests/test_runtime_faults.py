@@ -1,0 +1,370 @@
+"""Fault-matrix tests: every injector × every hardened runtime path.
+
+The contract under test is ISSUE 3's acceptance criterion: every
+injected failure — torn write, truncated entry, manifest mismatch,
+read/write/replace ``OSError``, disk full, read-only directory, worker
+death — must end in either a correct rebuilt artifact or a clean,
+typed error.  Never a silent wrong answer, and never an infinite
+rebuild loop.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.runtime import (
+    ArtifactCache,
+    CacheStoreError,
+    FaultInjector,
+    FaultSpec,
+    PipelineStats,
+    ProcessPoolBackend,
+    SerialExecutor,
+    WorkerPoolError,
+)
+from repro.runtime.faults import from_env
+from repro.simulation import build_datasets
+from repro.simulation.config import tiny
+
+
+def _always(site: str, kind: str) -> FaultInjector:
+    """An injector that fires one fault kind at one site, forever."""
+    return FaultInjector([FaultSpec(site, kind, max_fires=None)], seed=0)
+
+
+def _once(site: str, kind: str) -> FaultInjector:
+    """An injector that fires exactly once (a transient failure)."""
+    return FaultInjector([FaultSpec(site, kind, max_fires=1)], seed=0)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_site(self):
+        with pytest.raises(ValueError):
+            FaultSpec("cache:fsync", "oserror")
+
+    def test_rejects_kind_at_wrong_site(self):
+        with pytest.raises(ValueError):
+            FaultSpec("worker", "torn-write")
+        with pytest.raises(ValueError):
+            FaultSpec("cache:read", "worker-death")
+
+    def test_rejects_bad_rate_and_fires(self):
+        with pytest.raises(ValueError):
+            FaultSpec("cache:read", "oserror", rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec("cache:read", "oserror", max_fires=0)
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_fault_sequence(self):
+        def run(seed):
+            inj = FaultInjector(
+                [FaultSpec("cache:read", "oserror", rate=0.5, max_fires=None)],
+                seed=seed,
+            )
+            fired = []
+            for i in range(50):
+                try:
+                    inj.on_read(f"entry-{i}")
+                    fired.append(False)
+                except OSError:
+                    fired.append(True)
+            return fired
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)  # astronomically unlikely to collide
+        assert any(run(7)) and not all(run(7))
+
+    def test_max_fires_bounds_total(self):
+        inj = _once("cache:read", "oserror")
+        with pytest.raises(OSError):
+            inj.on_read("a")
+        inj.on_read("b")  # budget spent: no further faults
+        assert inj.fired() == 1
+
+    def test_event_log_records_site_and_kind(self):
+        inj = _once("worker", "worker-death")
+        with pytest.raises(Exception):
+            inj.on_worker_dispatch()
+        assert inj.events[0].site == "worker"
+        assert inj.events[0].kind == "worker-death"
+
+
+class TestCacheFaultMatrix:
+    """Every cache-side injector ends in rebuild-or-typed-error."""
+
+    PAYLOAD = {"rows": list(range(500)), "tag": "fault-matrix"}
+
+    def _rebuilds_correctly(self, cache: ArtifactCache, key: str) -> None:
+        """The invariant every fault must uphold: get_or_build returns
+        the correct artifact afterwards."""
+        assert cache.get_or_build(key, lambda: self.PAYLOAD) == self.PAYLOAD
+
+    def test_torn_write_detected_and_quarantined(self, tmp_path):
+        cache = ArtifactCache(tmp_path, faults=_once("cache:write", "torn-write"))
+        key = cache.key_for(artifact="torn")
+        cache.store(key, self.PAYLOAD)
+        assert cache.load(key) is None  # checksum catches the torn bytes
+        assert cache.corrupt == 1
+        assert cache.quarantined == 1
+        assert list(cache.quarantine_dir.iterdir())  # bytes kept for forensics
+        self._rebuilds_correctly(cache, key)
+        assert cache.load(key) == self.PAYLOAD
+
+    def test_torn_write_unverified_still_degrades_to_miss(self, tmp_path):
+        # with verify=off a torn pickle fails to unpickle — degraded to
+        # a miss + quarantine, never a wrong artifact
+        cache = ArtifactCache(
+            tmp_path, verify="off", faults=_once("cache:write", "torn-write")
+        )
+        key = cache.key_for(artifact="torn-off")
+        cache.store(key, self.PAYLOAD)
+        assert cache.load(key) is None
+        self._rebuilds_correctly(cache, key)
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path, faults=_once("cache:write", "truncate"))
+        key = cache.key_for(artifact="trunc")
+        cache.store(key, self.PAYLOAD)
+        assert cache.path_for(key).stat().st_size == 0
+        assert cache.load(key) is None
+        self._rebuilds_correctly(cache, key)
+
+    def test_manifest_mismatch_quarantines(self, tmp_path):
+        cache = ArtifactCache(tmp_path, faults=None)
+        key = cache.key_for(artifact="tamper")
+        cache.store(key, self.PAYLOAD)
+        # bit rot: valid pickle, wrong bytes for the manifest
+        cache.path_for(key).write_bytes(pickle.dumps("impostor"))
+        assert cache.load(key) is None  # never returns the impostor
+        assert cache.corrupt == 1 and cache.quarantined == 1
+        self._rebuilds_correctly(cache, key)
+
+    def test_missing_manifest_is_miss_without_quarantine(self, tmp_path):
+        cache = ArtifactCache(tmp_path, faults=None)
+        key = cache.key_for(artifact="legacy")
+        cache.store(key, self.PAYLOAD)
+        cache.manifest_path_for(key).unlink()
+        assert cache.load(key) is None  # unverifiable → miss
+        assert cache.quarantined == 0  # ... but not proof of corruption
+        assert key in cache  # payload left for the rebuild to overwrite
+        self._rebuilds_correctly(cache, key)
+
+    def test_read_oserror_is_miss_then_rebuild(self, tmp_path):
+        clean = ArtifactCache(tmp_path, faults=None)
+        key = clean.key_for(artifact="read-fault")
+        clean.store(key, self.PAYLOAD)
+        cache = ArtifactCache(tmp_path, faults=_once("cache:read", "oserror"))
+        assert cache.load(key) is None
+        assert cache.load(key) == self.PAYLOAD  # transient: next read hits
+
+    def test_disk_full_store_degrades_and_cleans_up(self, tmp_path):
+        cache = ArtifactCache(tmp_path, faults=_always("cache:write", "disk-full"))
+        key = cache.key_for(artifact="full")
+        assert cache.store(key, self.PAYLOAD) is None
+        assert cache.store_failures == 1
+        assert cache.events  # degradation is surfaced, not swallowed
+        assert not [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+        # the artifact is still produced, merely uncached
+        assert cache.get_or_build(key, lambda: self.PAYLOAD) == self.PAYLOAD
+
+    def test_read_only_store_degrades(self, tmp_path):
+        cache = ArtifactCache(tmp_path, faults=_always("cache:write", "read-only"))
+        key = cache.key_for(artifact="rofs")
+        assert cache.store(key, self.PAYLOAD) is None
+        assert cache.get_or_build(key, lambda: self.PAYLOAD) == self.PAYLOAD
+        assert not [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+
+    def test_replace_failure_degrades_and_cleans_up(self, tmp_path):
+        cache = ArtifactCache(tmp_path, faults=_always("cache:replace", "oserror"))
+        key = cache.key_for(artifact="replace")
+        assert cache.store(key, self.PAYLOAD) is None
+        assert key not in cache
+        assert not [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+
+    def test_strict_store_raises_typed_error(self, tmp_path):
+        cache = ArtifactCache(
+            tmp_path,
+            faults=_always("cache:write", "disk-full"),
+            strict_store=True,
+        )
+        with pytest.raises(CacheStoreError):
+            cache.store(cache.key_for(artifact="strict"), self.PAYLOAD)
+
+    def test_unpicklable_artifact_always_raises(self, tmp_path):
+        cache = ArtifactCache(tmp_path, faults=None)
+        with pytest.raises(CacheStoreError):
+            cache.store(cache.key_for(artifact="bad"), lambda: None)
+
+    def test_quarantine_restores_entry_replaced_by_racing_builder(self, tmp_path):
+        # the unlink-race fix: quarantining on the evidence of *stale*
+        # bytes must not destroy a fresh entry another builder renamed in
+        cache = ArtifactCache(tmp_path, faults=None)
+        key = cache.key_for(artifact="race")
+        cache.store(key, self.PAYLOAD)
+        path = cache.path_for(key)
+        stale_observation = b"the corrupt bytes some reader saw earlier"
+        cache._quarantine(path, stale_observation)
+        assert cache.quarantined == 0
+        assert cache.load(key) == self.PAYLOAD  # fresh entry survived
+
+    def test_quarantine_keeps_genuinely_corrupt_bytes(self, tmp_path):
+        cache = ArtifactCache(tmp_path, faults=None)
+        key = cache.key_for(artifact="bad-bytes")
+        path = cache.path_for(key)
+        tmp_path.mkdir(exist_ok=True)
+        path.write_bytes(b"definitely corrupt")
+        cache._quarantine(path, b"definitely corrupt")
+        assert cache.quarantined == 1
+        assert not path.exists()
+        moved = list(cache.quarantine_dir.iterdir())
+        assert len(moved) == 1
+        assert moved[0].read_bytes() == b"definitely corrupt"
+
+
+_MAIN_PID = os.getpid()
+
+
+def _die_in_worker(payload):
+    """Kill the hosting process — unless it is the main test process.
+
+    Dispatched to a pool worker this reproduces a genuine abrupt worker
+    death (``BrokenProcessPool``); run inline after degradation it
+    simply computes, which is exactly the degraded path's promise.
+    """
+    main_pid, x = payload
+    if os.getpid() != main_pid:
+        os._exit(3)
+    return x * 2
+
+
+def _double(x):
+    return x * 2
+
+
+class TestExecutorFaultMatrix:
+    def test_transient_worker_death_survived_by_retry(self):
+        inj = _once("worker", "worker-death")
+        with ProcessPoolBackend(2, retries=2, backoff=0.0, faults=inj) as ex:
+            assert ex.map(_double, [1, 2, 3]) == [2, 4, 6]
+            assert ex.retry_count == 1
+            assert not ex.degraded
+            assert ex.events  # the retry is surfaced
+
+    def test_persistent_failure_degrades_to_serial(self):
+        inj = _always("worker", "worker-death")
+        with ProcessPoolBackend(
+            2, retries=1, backoff=0.0, on_failure="serial", faults=inj
+        ) as ex:
+            assert ex.map(_double, [1, 2]) == [2, 4]
+            assert ex.degraded
+            assert any("degraded" in e for e in ex.events)
+            # degradation is permanent and stays correct
+            assert ex.map(_double, [3, 4]) == [6, 8]
+
+    def test_persistent_failure_raises_typed_error(self):
+        inj = _always("worker", "worker-death")
+        with ProcessPoolBackend(2, retries=1, backoff=0.0, faults=inj) as ex:
+            with pytest.raises(WorkerPoolError) as err:
+                ex.map(_double, [1, 2])
+            assert err.value.attempts == 2
+
+    def test_real_worker_death_mid_stage(self):
+        # not an injected exception: the worker process genuinely dies
+        # (os._exit) and concurrent.futures reports BrokenProcessPool
+        payloads = [(_MAIN_PID, x) for x in (1, 2, 3)]
+        with ProcessPoolBackend(
+            2, retries=1, backoff=0.0, on_failure="serial", faults=None
+        ) as ex:
+            assert ex.map(_die_in_worker, payloads) == [2, 4, 6]
+            assert ex.degraded
+
+    def test_task_errors_are_not_retried(self):
+        calls = {"n": 0}
+
+        def count_calls(_):
+            calls["n"] += 1
+            raise KeyError("task bug")
+
+        with ProcessPoolBackend(2, retries=3, backoff=0.0, faults=None) as ex:
+            ex.degraded = True  # run inline so the counter is shared
+            with pytest.raises(KeyError):
+                ex.map(count_calls, [1])
+        assert calls["n"] == 1
+
+
+class TestPipelineUnderFaults:
+    """End-to-end: faults anywhere, identical datasets everywhere."""
+
+    def test_faulty_cache_never_changes_results(self, tmp_path):
+        clean = build_datasets(tiny(seed=11))
+        cache = ArtifactCache(
+            tmp_path,
+            faults=FaultInjector(
+                [
+                    FaultSpec("cache:write", "torn-write", max_fires=1),
+                    FaultSpec("cache:read", "oserror", max_fires=1),
+                ],
+                seed=3,
+            ),
+        )
+        # first build stores a torn entry; the verified warm path must
+        # reject it and rebuild rather than serve it
+        first = build_datasets(tiny(seed=11), cache=cache)
+        second = build_datasets(tiny(seed=11), cache=cache)
+        for bundle in (first, second):
+            assert bundle.admin_lives == clean.admin_lives
+            assert bundle.op_lives == clean.op_lives
+        assert cache.hits == 0  # both lookups degraded to misses
+
+    def test_degraded_executor_surfaces_in_stats(self):
+        stats = PipelineStats()
+        executor = ProcessPoolBackend(
+            2,
+            retries=0,
+            backoff=0.0,
+            on_failure="serial",
+            faults=_always("worker", "worker-death"),
+        )
+        with executor:
+            bundle = build_datasets(tiny(seed=11), executor=executor, stats=stats)
+        assert stats.backend == "process/degraded-serial"
+        assert any("degraded" in event for event in stats.events)
+        assert bundle.admin_lives == build_datasets(tiny(seed=11)).admin_lives
+
+    def test_stats_render_includes_events(self):
+        stats = PipelineStats()
+        stats.record("simulate", 1.0)
+        stats.note("cache: quarantined corrupt entry deadbeef")
+        text = stats.render()
+        assert "runtime events (1):" in text
+        assert "quarantined" in text
+
+
+class TestEnvInjection:
+    def test_from_env_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_SEED", raising=False)
+        assert from_env() is None
+
+    def test_from_env_builds_shared_injector(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SEED", "42")
+        monkeypatch.setenv("REPRO_FAULT_RATE", "0.25")
+        first = from_env()
+        assert first is not None
+        assert first.seed == 42
+        assert from_env() is first  # one ambient injector per process
+
+    def test_default_cache_picks_up_env_injector(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_FAULT_SEED", "42")
+        cache = ArtifactCache(tmp_path)
+        assert cache.faults is from_env()
+        explicit = ArtifactCache(tmp_path, faults=None)
+        assert explicit.faults is None
+
+    def test_serial_executor_untouched_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_SEED", "42")
+        ex = SerialExecutor()
+        assert ex.map(_double, [1]) == [2]
