@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the benchmark metrics snapshot.
+
+Compares the per-stage wall-time histograms in
+``benchmarks/results/metrics_snapshot.json`` (written by the benchmark
+session's autouse fixture — see ``conftest.py``) against the committed
+baseline ``benchmarks/results/baseline.json`` and fails when any
+baseline stage, or the stage total, regresses by more than the
+tolerance (default 25%).
+
+The gate reads the machine-readable snapshot, never the human-oriented
+``.txt`` result tables, so a formatting change can never silently
+defeat it.
+
+Usage::
+
+    # in CI, after running the scaling benchmarks
+    python benchmarks/check_perf_gate.py
+
+    # refresh the committed baseline after an intentional perf change
+    python benchmarks/check_perf_gate.py --write-baseline
+
+Stages faster than ``--min-seconds`` (default 0.05s) are reported but
+never gated: at that scale scheduler noise dwarfs any real regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINE_FORMAT = "perf-baseline/v1"
+
+
+def stage_seconds(snapshot: dict) -> dict:
+    """stage name -> total wall seconds, from ``stage.<name>.seconds``."""
+    out = {}
+    for name, hist in snapshot.get("histograms", {}).items():
+        if name.startswith("stage.") and name.endswith(".seconds"):
+            out[name[len("stage."):-len(".seconds")]] = float(hist["sum"])
+    return out
+
+
+def load_json(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"perf gate: {path} not found — run the scaling benchmarks first")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"perf gate: {path} is not valid JSON: {exc}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "snapshot", nargs="?", type=Path,
+        default=RESULTS_DIR / "metrics_snapshot.json",
+        help="metrics snapshot to check (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=RESULTS_DIR / "baseline.json",
+        help="committed baseline (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed relative wall-time regression (default: 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=0.05,
+        help="baseline stages faster than this are noise, not gated",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from the snapshot instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    current = stage_seconds(load_json(args.snapshot))
+    if not current:
+        sys.exit(f"perf gate: no stage.*.seconds histograms in {args.snapshot}")
+
+    if args.write_baseline:
+        baseline = {
+            "format": BASELINE_FORMAT,
+            "stages": {k: round(v, 4) for k, v in sorted(current.items())},
+            "total_seconds": round(sum(current.values()), 4),
+        }
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(f"perf gate: baseline written to {args.baseline} "
+              f"({len(current)} stages, {baseline['total_seconds']:.3f}s total)")
+        return 0
+
+    baseline_doc = load_json(args.baseline)
+    if baseline_doc.get("format") != BASELINE_FORMAT:
+        sys.exit(f"perf gate: {args.baseline} is not a {BASELINE_FORMAT} document")
+    baseline = {k: float(v) for k, v in baseline_doc["stages"].items()}
+
+    failures = []
+    rows = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        cur = current.get(name)
+        if cur is None:
+            rows.append((name, base, None, "MISSING"))
+            failures.append(f"stage {name!r} present in baseline but not in snapshot")
+            continue
+        delta = (cur - base) / base if base > 0 else 0.0
+        gated = base >= args.min_seconds
+        status = "ok" if delta <= args.tolerance else ("FAIL" if gated else "noisy")
+        rows.append((name, base, cur, f"{delta:+.1%} {status}"))
+        if status == "FAIL":
+            failures.append(
+                f"stage {name!r} regressed {delta:+.1%} "
+                f"({base:.3f}s -> {cur:.3f}s, tolerance {args.tolerance:.0%})"
+            )
+    for name in sorted(set(current) - set(baseline)):
+        rows.append((name, None, current[name], "new"))
+
+    base_total = float(baseline_doc.get("total_seconds", sum(baseline.values())))
+    cur_total = sum(current.get(name, 0.0) for name in baseline)
+    total_delta = (cur_total - base_total) / base_total if base_total > 0 else 0.0
+    if total_delta > args.tolerance:
+        failures.append(
+            f"stage total regressed {total_delta:+.1%} "
+            f"({base_total:.3f}s -> {cur_total:.3f}s)"
+        )
+
+    width = max((len(r[0]) for r in rows), default=8)
+    print(f"{'stage':<{width}} {'baseline':>10} {'current':>10}  verdict")
+    for name, base, cur, verdict in rows:
+        base_txt = "" if base is None else f"{base:.3f}s"
+        cur_txt = "" if cur is None else f"{cur:.3f}s"
+        print(f"{name:<{width}} {base_txt:>10} {cur_txt:>10}  {verdict}")
+    print(f"{'total':<{width}} {base_total:>9.3f}s {cur_total:>9.3f}s  {total_delta:+.1%}")
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed ({len(baseline)} stages, tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

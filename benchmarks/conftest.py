@@ -15,10 +15,15 @@ from pathlib import Path
 
 import pytest
 
-from repro.runtime import ArtifactCache
+from repro.runtime import ArtifactCache, reset_metrics, write_json_atomic
 from repro.simulation import DatasetBundle, bench, build_datasets
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Machine-readable session metrics (stage wall histograms, cache and
+#: executor counters).  The perf-regression gate parses this file —
+#: never the human-oriented ``.txt`` tables.
+METRICS_SNAPSHOT = RESULTS_DIR / "metrics_snapshot.json"
 
 #: Content-addressed bundle cache shared across benchmark sessions.
 #: The key covers the full config + pipeline version, so a config or
@@ -28,6 +33,22 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: pytest-xdist: racing workers each build at worst once and never
 #: observe a torn artifact.
 CACHE_DIR = Path(__file__).parent / ".cache"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def session_metrics():
+    """Aggregate the whole session into one metrics snapshot.
+
+    The process-global registry is cleared up front (so a warm pytest
+    process never double-counts) and snapshotted to
+    ``benchmarks/results/metrics_snapshot.json`` at session end;
+    ``benchmarks/check_perf_gate.py`` compares the per-stage wall
+    histograms in it against the committed baseline.
+    """
+    metrics = reset_metrics()
+    yield metrics
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_json_atomic(METRICS_SNAPSHOT, metrics.snapshot())
 
 
 @pytest.fixture(scope="session")

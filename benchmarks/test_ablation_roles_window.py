@@ -14,7 +14,7 @@ import pytest
 
 from repro.bgp import SyntheticBgpStream, sanitize
 from repro.core import Role, collect_role_activity, role_census
-from repro.lifetimes import daily_prefixes_from_elements, build_prefix_aware_lifetimes
+from repro.lifetimes import daily_prefixes_from_elements
 from repro.simulation import WorldSimulator, tiny
 from repro.timeline import from_iso
 

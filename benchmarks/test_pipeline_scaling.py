@@ -226,7 +226,7 @@ def test_cache_verification_overhead(record_result, tmp_path):
 
     overhead = (sha_t / off_t - 1.0) * 100.0
     lines = [
-        f"warm activity-table hit, min of 7 runs",
+        "warm activity-table hit, min of 7 runs",
         f"{'verify=off':<28} {off_t:>9.4f}s",
         f"{'verify=sha256':<28} {sha_t:>9.4f}s",
         f"{'verification overhead':<28} {overhead:>8.2f}%",

@@ -5,7 +5,7 @@ first extended file 2008-02-14 (APNIC) .. 2013-03-05 (ARIN), and
 5,791-6,345 files per registry over the window.
 """
 
-from repro.rir import EXTENDED, FIRST_EXTENDED_FILE, FIRST_REGULAR_FILE, REGULAR
+from repro.rir import EXTENDED, REGULAR
 from repro.timeline import to_iso
 
 from conftest import fmt_table

@@ -46,7 +46,7 @@ def main() -> None:
           "conference networks, traffic engineering — matches the filter too)")
 
     truth = [e for e in world.events if e.kind == SQUAT_DORMANT]
-    print(f"\n=== Fig. 8: prefixes originated by awakened ASNs ===")
+    print("\n=== Fig. 8: prefixes originated by awakened ASNs ===")
     for event in truth[:6]:
         lo = max(event.interval.start - 30, world.config.start_day)
         hi = min(event.interval.end + 30, world.config.end_day)

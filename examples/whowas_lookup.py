@@ -22,7 +22,7 @@ def main() -> None:
     # 1. the §6.3 investigation: failed 32-bit deployments
     retries = service.find_32bit_retries(max_failed_duration=400,
                                          max_gap_days=365)
-    print(f"=== Failed 32-bit deployments (§6.3) ===")
+    print("=== Failed 32-bit deployments (§6.3) ===")
     print(f"{len(retries)} organizations returned a short-lived 32-bit ASN "
           "and got a 16-bit one soon after:")
     for finding in retries[:8]:
@@ -52,7 +52,7 @@ def main() -> None:
         print(f"Who held AS{sample.asn} on {to_iso(mid)}?")
         print(f"  -> {holder.describe()}")
         after = service.holder_on(sample.asn, sample.end + 50)
-        print(f"And 50 days after that allocation expired?")
+        print("And 50 days after that allocation expired?")
         print(f"  -> {after.describe() if after else 'nobody (deallocated)'}")
 
 

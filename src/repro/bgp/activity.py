@@ -146,6 +146,10 @@ class ContributionIndex:
     def n_peers(self) -> int:
         return len(self.peers)
 
+    def __len__(self) -> int:
+        """Unique announcements interned so far."""
+        return len(self._cache)
+
     @property
     def table(self) -> PathTable:
         return self._oracle.table
@@ -559,6 +563,9 @@ class ActivityReport:
     kept: int
     dropped: Dict[str, int]
     rebuilds: int
+    #: Unique announcement contributions interned across all chunks
+    #: (each is one sanitized fan-out computed exactly once).
+    contributions: int = 0
     stream_seconds: float = 0.0
     sanitize_seconds: float = 0.0
     visibility_seconds: float = 0.0
@@ -596,6 +603,7 @@ def _activity_chunk_task(payload):
         engine.kept,
         dict(engine.dropped),
         engine.rebuilds,
+        len(engine.index),
         engine.index.compute_seconds,
     )
 
@@ -671,10 +679,19 @@ def _run_schedule(
     kept = 0
     dropped: Dict[str, int] = {}
     rebuilds = 0
+    contributions = 0
     sanitize_seconds = 0.0
-    for runs, chunk_kept, chunk_dropped, chunk_rebuilds, compute_seconds in results:
+    for (
+        runs,
+        chunk_kept,
+        chunk_dropped,
+        chunk_rebuilds,
+        chunk_contributions,
+        compute_seconds,
+    ) in results:
         kept += chunk_kept
         rebuilds += chunk_rebuilds
+        contributions += chunk_contributions
         sanitize_seconds += compute_seconds
         for reason, n in chunk_dropped.items():
             dropped[reason] = dropped.get(reason, 0) + n
@@ -694,6 +711,7 @@ def _run_schedule(
         kept=kept,
         dropped=dropped,
         rebuilds=rebuilds,
+        contributions=contributions,
         sanitize_seconds=sanitize_seconds,
     )
     return merged, report

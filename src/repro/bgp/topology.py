@@ -17,7 +17,7 @@ and cone-size distributions to be meaningful.
 from __future__ import annotations
 
 import random
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Sequence, Set
 
 import networkx as nx
 

@@ -33,6 +33,14 @@ message-level BGP stream over the last ``--bgp-window`` days (the
 columnar engine and the per-element baseline produce byte-identical
 datasets; cached activity tables make repeat runs skip the stream).
 
+Observability flags on ``simulate`` (see DESIGN.md §7): ``--trace``
+writes the run's nested span trace as JSON lines, ``--metrics-out``
+writes a counters/gauges/histograms snapshot, and ``--manifest`` writes
+the run provenance manifest (config hash, cache-key versions,
+engine/backend choices, fault-injection settings, git describe, span
+digest).  Each takes an optional path and defaults to a file next to
+the exported datasets; all three are written atomically.
+
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
 
@@ -102,6 +110,22 @@ def build_parser() -> argparse.ArgumentParser:
                           "WorkerPoolError")
     simulate.add_argument("--profile", action="store_true",
                           help="print per-stage wall times and item counts")
+    simulate.add_argument("--trace", nargs="?", const="@out", default=None,
+                          metavar="PATH",
+                          help="write the run's span trace as JSON lines "
+                          "(nested stage/task spans, cache and fault "
+                          "annotations; default PATH: OUT/trace.jsonl)")
+    simulate.add_argument("--metrics-out", nargs="?", const="@out",
+                          default=None, metavar="PATH",
+                          help="write a metrics snapshot (counters, gauges, "
+                          "per-stage histograms) as JSON "
+                          "(default PATH: OUT/metrics.json)")
+    simulate.add_argument("--manifest", nargs="?", const="@out", default=None,
+                          metavar="PATH",
+                          help="write the run provenance manifest (config "
+                          "hash, cache-key versions, engine/backend choices, "
+                          "fault-injection settings, git describe, span "
+                          "digest; default PATH: OUT/run_manifest.json)")
     simulate.add_argument("--bgp-engine",
                           choices=("interval", "columnar", "object"),
                           default="interval",
@@ -156,14 +180,44 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _artifact_path(value, out: Path, default_name: str) -> Optional[Path]:
+    """Resolve a ``--trace``-style flag: absent, bare, or explicit path."""
+    if value is None:
+        return None
+    if value == "@out":
+        return out / default_name
+    return Path(value)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from .runtime import PipelineStats, resolve_executor
+    from .runtime import (
+        PipelineStats,
+        build_run_manifest,
+        get_metrics,
+        resolve_executor,
+        write_json_atomic,
+        write_run_manifest,
+    )
+    from .runtime.faults import from_env
+
+    trace_path = _artifact_path(args.trace, args.out, "trace.jsonl")
+    metrics_path = _artifact_path(args.metrics_out, args.out, "metrics.json")
+    manifest_path = _artifact_path(args.manifest, args.out, "run_manifest.json")
 
     config = WorldConfig(seed=args.seed, scale=args.scale)
-    stats = PipelineStats()
+    metrics = get_metrics()
+    metrics.clear()  # per-run snapshot semantics
+    stats = PipelineStats(metrics=metrics)
+    # ambient fault injection (REPRO_FAULT_SEED): mirror every injected
+    # fault into the trace as a span annotation
+    detach_faults = None
+    injector = from_env()
+    if injector is not None:
+        detach_faults = stats.tracer.subscribe_faults(injector)
     executor = resolve_executor(
         args.jobs, retries=args.retries, on_failure=args.on_worker_failure,
     )
+    executor.instrument(stats.tracer, stats.metrics)
     try:
         bundle = build_datasets(
             config, inject_pitfalls=not args.no_pitfalls,
@@ -195,6 +249,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     finally:
         stats.drain_events_from(executor)
         executor.close()
+        if detach_faults is not None:
+            detach_faults()
     args.out.mkdir(parents=True, exist_ok=True)
     admin_path = args.out / "admin_dataset.json"
     op_path = args.out / "operational_dataset.json"
@@ -203,6 +259,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(render_report(joint, restoration=bundle.restoration_report))
     print(f"\nwrote {admin_path} ({n_admin} records)")
     print(f"wrote {op_path} ({n_op} records)")
+    if trace_path is not None:
+        stats.tracer.write_jsonl(trace_path)
+        print(f"wrote {trace_path} ({len(stats.tracer.spans) + 1} spans)")
+    if metrics_path is not None:
+        write_json_atomic(metrics_path, metrics.snapshot())
+        print(f"wrote {metrics_path} (metrics snapshot)")
+    if manifest_path is not None:
+        manifest = build_run_manifest(
+            config=config,
+            settings={
+                "bgp_engine": args.bgp_engine,
+                "bgp_window": args.bgp_window,
+                "timeout": args.timeout,
+                "jobs": args.jobs,
+                "inject_pitfalls": not args.no_pitfalls,
+                "cache_dir": str(args.cache_dir) if args.cache_dir else None,
+                "cache_verify": args.cache_verify,
+                "retries": args.retries,
+                "on_worker_failure": args.on_worker_failure,
+            },
+            stats=stats,
+            # describe the checkout the *code* ran from, not the cwd
+            git_root=Path(__file__).resolve().parent,
+        )
+        write_run_manifest(manifest_path, manifest)
+        print(f"wrote {manifest_path} (run manifest, "
+              f"digest {manifest['digest'][:12]})")
     if args.profile:
         print()
         print(stats.render())

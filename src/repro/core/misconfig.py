@@ -18,8 +18,8 @@ which the integration layer extracts from sanitized BGP elements.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
 
 from ..asn.numbers import ASN, digit_count, looks_like_prepend_typo, one_digit_apart
 from ..bgp.messages import BgpElement

@@ -11,7 +11,6 @@ from typing import List, Optional
 
 from ..restoration.report import RestorationReport
 from .joint import JointAnalysis
-from .taxonomy import Category
 
 __all__ = ["render_report"]
 

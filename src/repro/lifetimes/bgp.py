@@ -191,9 +191,13 @@ def _object_stream_tables(
         for asn in set(observed_days) | set(single_days)
     }
     visibility_seconds += perf_counter() - t0
-    stats.record("bgp:stream", stream_seconds, items=end - start + 1)
-    stats.record("bgp:sanitize", sanitize_seconds, items=san_stats.total_seen)
-    stats.record("bgp:visibility", visibility_seconds, items=len(tables))
+    stats.record("bgp:stream", stream_seconds, items=end - start + 1,
+                 component="bgp", engine="object")
+    stats.record("bgp:sanitize", sanitize_seconds, items=san_stats.total_seen,
+                 component="bgp", engine="object")
+    stats.record("bgp:visibility", visibility_seconds, items=len(tables),
+                 component="bgp", engine="object")
+    stats.metrics.inc("bgp.elements", san_stats.total_seen)
     return tables
 
 
@@ -252,6 +256,7 @@ def build_operational_dataset(
     spec = executor
     executor = resolve_executor(spec)
     owns_executor = executor is not spec
+    executor.instrument(stats.tracer, stats.metrics)
 
     try:
         tables: Optional[Dict[ASN, OperationalActivity]] = None
@@ -265,10 +270,13 @@ def build_operational_dataset(
                 end=end,
                 min_corroboration=min_corroboration,
             )
-            with stats.stage("cache:lookup") as timing:
+            with stats.stage("cache:lookup", component="cache") as timing:
                 tables = cache.load(key)
                 if tables is not None:
                     timing.items = len(tables)
+                    timing.set_attr("cache", "hit")
+                else:
+                    timing.set_attr("cache", "miss")
             stats.drain_events_from(cache)
 
         if tables is None:
@@ -283,21 +291,31 @@ def build_operational_dataset(
                     full_rebuild_fraction=full_rebuild_fraction,
                 )
                 stats.record("bgp:stream", report.stream_seconds,
-                             items=report.changed_days)
+                             items=report.changed_days,
+                             component="bgp", engine="columnar")
                 stats.record("bgp:sanitize", report.sanitize_seconds,
-                             items=report.elements)
+                             items=report.elements,
+                             component="bgp", engine="columnar")
                 stats.record("bgp:visibility", report.visibility_seconds,
-                             items=report.chunks)
+                             items=report.chunks,
+                             component="bgp", engine="columnar")
+                stats.metrics.inc("bgp.elements", report.elements)
+                stats.metrics.inc("bgp.contributions", report.contributions)
+                stats.metrics.inc("bgp.rebuilds", report.rebuilds)
             else:
                 tables = _object_stream_tables(
                     world, start, end, min_corroboration, stats
                 )
             if cache is not None and key is not None:
-                with stats.stage("cache:store", items=len(tables)):
+                with stats.stage(
+                    "cache:store", items=len(tables), component="cache"
+                ):
                     cache.store(key, tables)
                 stats.drain_events_from(cache)
 
-        with stats.stage("bgp:segment") as timing:
+        with stats.stage(
+            "bgp:segment", component="bgp", engine=engine
+        ) as timing:
             op_lives = build_bgp_lifetimes(
                 tables,
                 timeout=timeout,

@@ -17,7 +17,7 @@ the paper wants.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Sequence
 
 from ..asn.numbers import ASN
 from ..net.prefix import Prefix

@@ -16,11 +16,10 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from typing import List, Mapping, Sequence
 
 from ..asn.numbers import ASN
 from ..timeline.dates import Day
-from ..timeline.intervals import IntervalSet
 from .bgp import OperationalActivity, build_bgp_lifetimes
 from .records import AdminLifetime
 

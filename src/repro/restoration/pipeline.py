@@ -127,10 +127,15 @@ def restore_archive(
     (RestoredDelegations, RestorationReport)
     """
     executor = resolve_executor(executor)
-    stats = stats if stats is not None else PipelineStats()
+    if stats is not None:
+        executor.instrument(stats.tracer, stats.metrics)
+    else:
+        stats = PipelineStats()
     registries = sorted(archive.registries())
 
-    with stats.stage("restore:views", items=len(registries)):
+    with stats.stage(
+        "restore:views", items=len(registries), component="restoration"
+    ):
         built = executor.map(
             _build_view_task, [(archive, registry) for registry in registries]
         )
@@ -143,7 +148,9 @@ def restore_archive(
     # are not mistaken for file outages; duplicates are resolved before
     # dates so date repair sees one row per day.
     report = RestorationReport()
-    with stats.stage("restore:per-registry", items=len(registries)):
+    with stats.stage(
+        "restore:per-registry", items=len(registries), component="restoration"
+    ):
         results = executor.map(
             _restore_registry_task,
             [(registry, views[registry], erx_reference) for registry in registries],
@@ -154,10 +161,12 @@ def restore_archive(
 
     # Step (vi) compares already-clean per-registry timelines against
     # each other — the cross-registry join barrier, serial by design.
-    with stats.stage("restore:inter-rir", items=len(views)):
+    with stats.stage(
+        "restore:inter-rir", items=len(views), component="restoration"
+    ):
         clean_inter_rir_overlaps(views, report, ledger=ledger)
 
-    with stats.stage("restore:merge"):
+    with stats.stage("restore:merge", component="restoration"):
         for view in views.values():
             view.prune_recovery_state()
         restored = RestoredDelegations(views=views, end_day=archive.end_day)

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import Dict, Set
 
-from ..rir.archive import Stint
 from ..timeline.dates import Day
 from .report import RestorationReport
 from .view import RegistryView

@@ -9,8 +9,8 @@ audit example.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
 
 from ..asn.numbers import ASN
 from ..rir.pitfalls import ERX_PLACEHOLDER_DATE, InjectedDefect

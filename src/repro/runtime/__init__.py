@@ -49,9 +49,35 @@ from .faults import (
     FaultInjector,
     FaultSpec,
 )
+from .observability import (
+    RUN_MANIFEST_FORMAT,
+    TRACE_FORMAT,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    build_run_manifest,
+    get_metrics,
+    git_describe,
+    reset_metrics,
+    write_json_atomic,
+    write_jsonl_atomic,
+    write_run_manifest,
+)
 from .profiling import PipelineStats, StageTiming
 
 __all__ = [
+    "RUN_MANIFEST_FORMAT",
+    "TRACE_FORMAT",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "build_run_manifest",
+    "get_metrics",
+    "git_describe",
+    "reset_metrics",
+    "write_json_atomic",
+    "write_jsonl_atomic",
+    "write_run_manifest",
     "PIPELINE_VERSION",
     "ACTIVITY_TABLE_VERSION",
     "MANIFEST_FORMAT",

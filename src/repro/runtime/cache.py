@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from .faults import USE_ENV_FAULTS, FaultInjector, resolve_faults
+from .observability import MetricsRegistry, resolve_metrics
 
 __all__ = [
     "PIPELINE_VERSION",
@@ -192,6 +193,7 @@ class ArtifactCache:
         verify: str = "sha256",
         faults: Any = USE_ENV_FAULTS,
         strict_store: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if verify not in ("off", "sha256"):
             raise ValueError(f"unknown verify mode {verify!r}")
@@ -199,6 +201,9 @@ class ArtifactCache:
         self.verify = verify
         self.faults: Optional[FaultInjector] = resolve_faults(faults)
         self.strict_store = strict_store
+        #: Where counters (``cache.hits``, ``cache.verify_failures``,
+        #: ...) aggregate; ``None`` means the process-global registry.
+        self.metrics = metrics
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
@@ -208,6 +213,9 @@ class ArtifactCache:
         #: stores); pipeline drivers drain this into
         #: :attr:`~repro.runtime.profiling.PipelineStats.events`.
         self.events: List[str] = []
+
+    def _inc(self, metric: str, n: int = 1) -> None:
+        resolve_metrics(self.metrics).inc(metric, n)
 
     # -- paths ---------------------------------------------------------
 
@@ -285,6 +293,7 @@ class ArtifactCache:
                 pass
             return
         self.quarantined += 1
+        self._inc("cache.quarantined")
         self.events.append(
             f"cache: quarantined corrupt entry {path.name} -> {qpath.name}"
         )
@@ -309,6 +318,7 @@ class ArtifactCache:
             )
             return None
         self.corrupt += 1
+        self._inc("cache.verify_failures")
         self.events.append(
             f"cache: entry {key[:12]} failed sha256 verification"
         )
@@ -325,21 +335,26 @@ class ArtifactCache:
         blob = self._read_payload(path)
         if blob is None:
             self.misses += 1
+            self._inc("cache.misses")
             return _MISS
         if self.verify == "sha256":
             blob = self._verified_payload(key, path, blob)
             if blob is None:
                 self.misses += 1
+                self._inc("cache.misses")
                 return _MISS
         try:
             obj = loads_with_gc_paused(blob)
         except Exception:
             self.corrupt += 1
+            self._inc("cache.verify_failures")
             self.events.append(f"cache: entry {key[:12]} failed to unpickle")
             self._quarantine(path, blob)
             self.misses += 1
+            self._inc("cache.misses")
             return _MISS
         self.hits += 1
+        self._inc("cache.hits")
         if (
             isinstance(obj, tuple)
             and len(obj) == 2
@@ -421,8 +436,10 @@ class ArtifactCache:
                 # whatever failed above, never leak temp files
                 for tmp in (tmp_payload, tmp_manifest):
                     tmp.unlink(missing_ok=True)
+            self._inc("cache.stores")
         except OSError as exc:
             self.store_failures += 1
+            self._inc("cache.store_failures")
             self.events.append(
                 f"cache: store of {key[:12]} failed ({exc}); continuing uncached"
             )

@@ -41,6 +41,12 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar, Union
 
 from .faults import USE_ENV_FAULTS, FaultInjector, resolve_faults
+from .observability import (
+    MetricsRegistry,
+    Tracer,
+    get_metrics,
+    resolve_metrics,
+)
 
 __all__ = [
     "PipelineExecutor",
@@ -83,15 +89,68 @@ class WorkerPoolError(RuntimeError):
         self.attempts = attempts
 
 
+def _task_label(fn: Callable) -> str:
+    """The span name of one fan-out task."""
+    return f"task:{getattr(fn, '__name__', repr(fn))}"
+
+
+def _traced_call(payload):
+    """Worker-side shim: run one task under a fresh tracer and registry.
+
+    Module-level (picklable).  The worker's process-global metrics
+    registry is cleared first so a forked worker never re-reports the
+    parent's counts; the task's spans and metric deltas travel back
+    with the result and are merged into the parent trace/registry by
+    :meth:`ProcessPoolBackend.map`.
+    """
+    fn, item = payload
+    metrics = get_metrics()
+    metrics.clear()
+    tracer = Tracer(root_name=_task_label(fn), root_kind="task", worker=True)
+    result = fn(item)
+    return result, tracer.export_spans(), metrics.snapshot()
+
+
 class PipelineExecutor:
     """Base class: how a pipeline fan-out executes.
 
     Subclasses implement :meth:`map`; everything else (context-manager
-    protocol, idempotent :meth:`close`) is shared.
+    protocol, idempotent :meth:`close`, observability attachment) is
+    shared.
     """
 
     name = "base"
     jobs = 1
+    #: Observability attachment (see :meth:`instrument`): when a tracer
+    #: is set, each fan-out task runs under a ``task`` span — inline
+    #: tasks nest under the caller's current span, worker tasks are
+    #: exported from the worker and adopted back into the parent trace.
+    tracer: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
+
+    def instrument(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "PipelineExecutor":
+        """Attach a tracer/metrics registry to this executor's fan-outs."""
+        if tracer is not None:
+            self.tracer = tracer
+        if metrics is not None:
+            self.metrics = metrics
+        return self
+
+    def _map_inline(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Run tasks in the calling thread, spanned when instrumented."""
+        tracer = self.tracer
+        if tracer is None:
+            return [fn(item) for item in items]
+        label = _task_label(fn)
+        out: List[R] = []
+        for item in items:
+            with tracer.span(label, kind="task"):
+                out.append(fn(item))
+        return out
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Apply ``fn`` to every item, returning results in input order."""
@@ -117,7 +176,7 @@ class SerialExecutor(PipelineExecutor):
     jobs = 1
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-        return [fn(item) for item in items]
+        return self._map_inline(fn, items)
 
 
 class ProcessPoolBackend(PipelineExecutor):
@@ -194,6 +253,23 @@ class ProcessPoolBackend(PipelineExecutor):
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
+    def _map_pool(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """One pool fan-out; spans/metrics round-trip when instrumented."""
+        pool = self._ensure_pool()
+        if self.tracer is None:
+            return list(pool.map(fn, items))
+        raw = list(pool.map(_traced_call, [(fn, item) for item in items]))
+        # merge only after the whole fan-out succeeded, so a retried
+        # attempt never leaves half-adopted spans behind
+        parent = self.tracer.current()
+        metrics = resolve_metrics(self.metrics)
+        results: List[R] = []
+        for result, spans, snapshot in raw:
+            self.tracer.adopt(spans, parent=parent)
+            metrics.merge_snapshot(snapshot)
+            results.append(result)
+        return results
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         items = list(items)
         if not items:
@@ -201,33 +277,36 @@ class ProcessPoolBackend(PipelineExecutor):
         if self.degraded or self.jobs < 2 or len(items) == 1:
             # degraded backends, single-core resolves, and single-item
             # fan-outs all skip the pool round-trip entirely
-            return [fn(item) for item in items]
+            return self._map_inline(fn, items)
         attempts = self.retries + 1
         last_exc: Optional[BaseException] = None
         for attempt in range(attempts):
             try:
                 if self.faults is not None:
                     self.faults.on_worker_dispatch()
-                return list(self._ensure_pool().map(fn, items))
+                return self._map_pool(fn, items)
             except _TRANSIENT_POOL_ERRORS as exc:
                 last_exc = exc
                 self._discard_pool()
                 remaining = attempts - attempt - 1
+                resolve_metrics(self.metrics).inc("executor.pool_failures")
                 self.events.append(
                     f"executor: worker pool failed ({type(exc).__name__}: "
                     f"{exc}); {remaining} retr{'y' if remaining == 1 else 'ies'} left"
                 )
                 if remaining > 0:
                     self.retry_count += 1
+                    resolve_metrics(self.metrics).inc("executor.retries")
                     if self.backoff > 0:
                         time.sleep(self.backoff * (2 ** attempt))
         if self.on_failure == "serial":
             self.degraded = True
+            resolve_metrics(self.metrics).inc("executor.degraded")
             self.events.append(
                 f"executor: degraded to serial after {attempts} failed "
                 f"attempts ({type(last_exc).__name__})"
             )
-            return [fn(item) for item in items]
+            return self._map_inline(fn, items)
         raise WorkerPoolError(
             f"worker pool failed {attempts} time(s); last error: "
             f"{type(last_exc).__name__}: {last_exc}",

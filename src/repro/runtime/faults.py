@@ -55,9 +55,11 @@ import errno
 import os
 import random
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .observability import get_metrics
 
 __all__ = [
     "SITES",
@@ -157,6 +159,10 @@ class FaultInjector:
             self._by_site.setdefault(spec.site, []).append(spec)
         self._fired: Dict[FaultSpec, int] = {}
         self.events: List[FaultEvent] = []
+        #: Callables invoked with each :class:`FaultEvent` as it fires.
+        #: :meth:`~repro.runtime.observability.Tracer.subscribe_faults`
+        #: registers one to mirror faults into the emitted trace.
+        self.listeners: List[Callable[[FaultEvent], None]] = []
 
     def fired(self, site: Optional[str] = None) -> int:
         """How many faults have fired (optionally at one site)."""
@@ -179,7 +185,13 @@ class FaultInjector:
         return None
 
     def _log(self, spec: FaultSpec, detail: str) -> None:
-        self.events.append(FaultEvent(site=spec.site, kind=spec.kind, detail=detail))
+        event = FaultEvent(site=spec.site, kind=spec.kind, detail=detail)
+        self.events.append(event)
+        metrics = get_metrics()
+        metrics.inc("faults.injected")
+        metrics.inc(f"faults.{spec.site}.{spec.kind}")
+        for listener in list(self.listeners):
+            listener(event)
 
     # -- hooks: the runtime calls these at its failure-prone points ----
 

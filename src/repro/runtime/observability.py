@@ -1,0 +1,685 @@
+"""Structured observability: span tracing, metrics, run manifests.
+
+Longitudinal measurement work lives or dies on provenance — being able
+to say *which inputs, code version, and stage path produced this
+artifact, and how long every step took*.  Historic-attribution services
+(Back-to-the-Future Whois and kin) must justify every derived record;
+this module gives the reproduction pipeline the same receipts:
+
+* :class:`Tracer` — nested spans with stage/component/engine/backend
+  attributes, monotonic timings, and free-form annotations (cache
+  hit/miss, quarantines, retries, degradations, injected faults).
+  Thread-safe (per-thread span stacks over one shared trace) and
+  process-pool-safe: worker-side spans are exported as plain dicts,
+  travel back with the task results, and :meth:`Tracer.adopt` re-parents
+  them into the parent trace.
+* :class:`MetricsRegistry` — counters, gauges, and histograms
+  (``cache.hits``, ``cache.verify_failures``, ``executor.retries``,
+  ``bgp.contributions``, per-stage wall histograms, ...) behind one
+  lock; worker snapshots merge additively via :meth:`merge_snapshot`.
+* Run manifests — :func:`build_run_manifest` assembles the config hash,
+  cache-key versions, engine/backend choices, fault-injection settings,
+  ``git describe``, and a per-stage span digest into a deterministic
+  JSON document: identical config and inputs reproduce the manifest
+  byte-for-byte (timestamps are opt-in precisely so the default stays
+  reproducible).
+
+All three artifacts are written atomically (unique temp file +
+``os.replace``), the same publish discipline the artifact cache uses,
+so a crashed run can never leave a torn trace or manifest next to the
+exported datasets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import subprocess
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Union
+
+__all__ = [
+    "TRACE_FORMAT",
+    "RUN_MANIFEST_FORMAT",
+    "Span",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "reset_metrics",
+    "write_json_atomic",
+    "write_jsonl_atomic",
+    "git_describe",
+    "build_run_manifest",
+    "write_run_manifest",
+]
+
+#: Format tag of the JSON-lines trace file (first line of every file).
+TRACE_FORMAT = "pipeline-trace/v1"
+
+#: Format tag of the per-run manifest document.
+RUN_MANIFEST_FORMAT = "run-manifest/v1"
+
+
+# -- atomic JSON writers ----------------------------------------------------
+
+_UNIQUE = itertools.count()
+
+
+def _write_text_atomic(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` via a unique temp file + ``os.replace``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}.{next(_UNIQUE)}")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def write_json_atomic(path: Union[str, Path], document: Any) -> Path:
+    """Atomically write one canonical (sorted-key) JSON document."""
+    return _write_text_atomic(
+        path, json.dumps(document, sort_keys=True, indent=2) + "\n"
+    )
+
+
+def write_jsonl_atomic(path: Union[str, Path], lines: Sequence[Any]) -> Path:
+    """Atomically write one JSON document per line."""
+    text = "".join(
+        json.dumps(line, sort_keys=True, separators=(",", ":")) + "\n"
+        for line in lines
+    )
+    return _write_text_atomic(path, text)
+
+
+# -- spans ------------------------------------------------------------------
+
+
+class Span:
+    """One timed operation in a trace.
+
+    Mutable by design: stage code sets ``items`` (fan-out width) after
+    the block exits, and annotations arrive while the span is open.
+    Attribute access is cheap; cross-thread mutation is guarded by the
+    owning tracer's lock where it matters (annotation, finishing).
+    """
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "kind",
+        "attrs",
+        "annotations",
+        "start_wall",
+        "seconds",
+        "pid",
+        "finished",
+        "_start_mono",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        *,
+        kind: str = "span",
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.attrs: Dict[str, Any] = dict(attrs or {})
+        self.annotations: List[str] = []
+        self.start_wall = time.time()
+        self._start_mono = time.perf_counter()
+        self.seconds = 0.0
+        self.pid = os.getpid()
+        self.finished = False
+
+    @property
+    def items(self) -> Optional[int]:
+        """Fan-out width (kept as an attribute for StageTiming parity)."""
+        return self.attrs.get("items")
+
+    @items.setter
+    def items(self, value: Optional[int]) -> None:
+        if value is None:
+            self.attrs.pop("items", None)
+        else:
+            self.attrs["items"] = value
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def annotate(self, message: str) -> None:
+        self.annotations.append(str(message))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The span's JSON-lines representation."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start": round(self.start_wall, 6),
+            "seconds": round(self.seconds, 6),
+            "attrs": self.attrs,
+            "annotations": list(self.annotations),
+            "pid": self.pid,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Span {self.span_id} {self.name!r} kind={self.kind} "
+            f"{'finished' if self.finished else 'open'}>"
+        )
+
+
+class Tracer:
+    """A thread-safe collector of nested spans forming one trace.
+
+    Every tracer owns a root span (named ``run`` by default); spans
+    opened with :meth:`span` nest under the opener thread's innermost
+    open span, falling back to the root, so concurrent threads build
+    disjoint subtrees of one tree.  Worker processes build their own
+    tracers and ship exported span dicts back; :meth:`adopt` renumbers
+    them into this trace under the caller's current span.
+    """
+
+    def __init__(
+        self, *, root_name: str = "run", root_kind: str = "root", **root_attrs: Any
+    ) -> None:
+        self._lock = threading.Lock()
+        self._ids = itertools.count(2)
+        self._local = threading.local()
+        self.trace_id = os.urandom(8).hex()
+        #: Degradation/event log: the runtime's quarantines, retries,
+        #: fallbacks.  :class:`~repro.runtime.profiling.PipelineStats`
+        #: exposes this very list as its ``events`` attribute.
+        self.events: List[str] = []
+        self.root = Span(1, None, root_name, kind=root_kind, attrs=root_attrs)
+        #: Spans in finish order (the root is appended at export time).
+        self.spans: List[Span] = []
+
+    # -- span lifecycle ------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> Span:
+        """The opener thread's innermost open span (root if none)."""
+        stack = self._stack()
+        return stack[-1] if stack else self.root
+
+    def start_span(
+        self,
+        name: str,
+        *,
+        kind: str = "span",
+        items: Optional[int] = None,
+        parent: Optional[Span] = None,
+        **attrs: Any,
+    ) -> Span:
+        with self._lock:
+            span_id = next(self._ids)
+        parent = parent if parent is not None else self.current()
+        span = Span(span_id, parent.span_id, name, kind=kind, attrs=attrs)
+        if items is not None:
+            span.items = items
+        self._stack().append(span)
+        return span
+
+    def finish_span(self, span: Span) -> None:
+        if span.finished:
+            return
+        span.seconds = time.perf_counter() - span._start_mono
+        span.finished = True
+        stack = self._stack()
+        if span in stack:
+            # close any orphaned children left open by an exception
+            while stack and stack[-1] is not span:
+                stack.pop()
+            stack.pop()
+        with self._lock:
+            self.spans.append(span)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        kind: str = "span",
+        items: Optional[int] = None,
+        **attrs: Any,
+    ) -> Iterator[Span]:
+        span = self.start_span(name, kind=kind, items=items, **attrs)
+        try:
+            yield span
+        finally:
+            self.finish_span(span)
+
+    def record(
+        self,
+        name: str,
+        seconds: float,
+        *,
+        kind: str = "span",
+        items: Optional[int] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Append an externally timed span (already finished)."""
+        with self._lock:
+            span_id = next(self._ids)
+        span = Span(span_id, self.current().span_id, name, kind=kind, attrs=attrs)
+        if items is not None:
+            span.items = items
+        span.seconds = float(seconds)
+        span.finished = True
+        with self._lock:
+            self.spans.append(span)
+        return span
+
+    # -- annotations and events ----------------------------------------
+
+    def note(self, message: str) -> None:
+        """Record one runtime event and annotate the current span."""
+        message = str(message)
+        with self._lock:
+            self.events.append(message)
+        self.current().annotate(message)
+
+    def annotate_current(self, message: str) -> None:
+        """Annotate the current span without logging an event."""
+        self.current().annotate(message)
+
+    def subscribe_faults(self, injector: Any) -> Callable[[], None]:
+        """Mirror every fired fault of ``injector`` into this trace.
+
+        Each :class:`~repro.runtime.faults.FaultEvent` becomes a
+        ``fault: site=... kind=... detail=...`` annotation on the span
+        active when the fault fired, closing the loop between the
+        injection harness and the emitted trace.  Returns a detach
+        callable (tests subscribe short-lived tracers).
+        """
+
+        def _on_fire(event: Any) -> None:
+            self.annotate_current(
+                f"fault: site={event.site} kind={event.kind} "
+                f"detail={event.detail}"
+            )
+
+        injector.listeners.append(_on_fire)
+
+        def _detach() -> None:
+            try:
+                injector.listeners.remove(_on_fire)
+            except ValueError:
+                pass
+
+        return _detach
+
+    # -- worker-span merging -------------------------------------------
+
+    def export_spans(self) -> List[Dict[str, Any]]:
+        """Every span (root first) as plain dicts, for cross-process travel."""
+        root = self.root.to_dict()
+        root["seconds"] = round(time.perf_counter() - self.root._start_mono, 6)
+        with self._lock:
+            return [root] + [span.to_dict() for span in self.spans]
+
+    def adopt(
+        self,
+        exported: Sequence[Mapping[str, Any]],
+        *,
+        parent: Optional[Span] = None,
+    ) -> List[Span]:
+        """Graft worker-exported spans into this trace.
+
+        Span ids are renumbered into this trace's sequence; internal
+        parent/child links are preserved, and spans whose parent is not
+        part of the export (the worker's roots) are re-parented under
+        ``parent`` (default: the caller's current span).
+        """
+        parent = parent if parent is not None else self.current()
+        id_map: Dict[Any, int] = {}
+        adopted: List[Span] = []
+        with self._lock:
+            for record in exported:
+                id_map[record.get("span_id")] = next(self._ids)
+        for record in exported:
+            old_parent = record.get("parent_id")
+            new_parent = id_map.get(old_parent, parent.span_id)
+            span = Span(
+                id_map[record.get("span_id")],
+                new_parent,
+                str(record.get("name", "task")),
+                kind=str(record.get("kind", "task")),
+                attrs=dict(record.get("attrs", {})),
+            )
+            span.start_wall = float(record.get("start", span.start_wall))
+            span.seconds = float(record.get("seconds", 0.0))
+            span.annotations = [str(a) for a in record.get("annotations", [])]
+            span.pid = int(record.get("pid", span.pid))
+            span.finished = True
+            adopted.append(span)
+        with self._lock:
+            self.spans.extend(adopted)
+        return adopted
+
+    # -- export --------------------------------------------------------
+
+    def stage_spans(self) -> List[Span]:
+        """Finished stage spans in finish order (the profile view)."""
+        with self._lock:
+            return [span for span in self.spans if span.kind == "stage"]
+
+    def to_lines(self) -> List[Dict[str, Any]]:
+        """The JSON-lines trace: a header line, then one line per span."""
+        root = self.root.to_dict()
+        root["seconds"] = round(time.perf_counter() - self.root._start_mono, 6)
+        header = {
+            "format": TRACE_FORMAT,
+            "trace_id": self.trace_id,
+            "spans": len(self.spans) + 1,
+        }
+        with self._lock:
+            return [header, root] + [span.to_dict() for span in self.spans]
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        """Atomically write the trace as JSON lines."""
+        return write_jsonl_atomic(path, self.to_lines())
+
+    def stage_digest(self) -> Dict[str, Any]:
+        """A deterministic digest of the stage path this run took.
+
+        Covers stage names, order, fan-out widths, and non-timing
+        attributes — never durations, pids, or span ids — so identical
+        configs and inputs produce identical digests.
+        """
+        rows = []
+        for span in self.stage_spans():
+            attrs = {
+                k: v for k, v in sorted(span.attrs.items())
+                if not isinstance(v, float)
+            }
+            rows.append({"name": span.name, "attrs": attrs})
+        blob = json.dumps(rows, sort_keys=True, separators=(",", ":"))
+        return {
+            "stages": rows,
+            "sha256": hashlib.sha256(blob.encode("utf-8")).hexdigest(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Tracer {self.trace_id} spans={len(self.spans)}>"
+
+
+# -- metrics ----------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A streaming summary (count / sum / min / max) of observations."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def snapshot(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.total / self.count,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe registry of named counters, gauges, and histograms.
+
+    Process-pool fan-outs snapshot the worker-side registry and merge it
+    back additively with :meth:`merge_snapshot`, so metric totals
+    survive the same round trip worker spans do.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter()
+            return counter
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge()
+            return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            return hist
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Shorthand: bump a counter."""
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, value: float) -> None:
+        """Shorthand: add one histogram observation."""
+        self.histogram(name).observe(value)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready view of every metric."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+                "histograms": {
+                    k: h.snapshot() for k, h in sorted(self._histograms.items())
+                },
+            }
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a worker snapshot in: counters and histograms add,
+        gauges take the incoming value (last writer wins)."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name)
+            count = int(summary.get("count", 0))
+            if count == 0:
+                continue
+            with self._lock:
+                hist.count += count
+                hist.total += float(summary.get("sum", 0.0))
+                hist.minimum = min(hist.minimum, float(summary.get("min", 0.0)))
+                hist.maximum = max(hist.maximum, float(summary.get("max", 0.0)))
+
+    def clear(self) -> None:
+        """Drop every metric (in place, so shared references survive)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-global registry: the cache, executor, and fault injector
+#: report here by default, so zero-configuration runs still aggregate.
+_GLOBAL_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global default registry."""
+    return _GLOBAL_METRICS
+
+
+def reset_metrics() -> MetricsRegistry:
+    """Clear the global registry in place (same object) and return it."""
+    _GLOBAL_METRICS.clear()
+    return _GLOBAL_METRICS
+
+
+def resolve_metrics(metrics: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """``None`` → the process-global registry, else pass through."""
+    return metrics if metrics is not None else _GLOBAL_METRICS
+
+
+# -- run manifests ----------------------------------------------------------
+
+
+def git_describe(root: Union[str, Path, None] = None) -> Optional[str]:
+    """``git describe --always --dirty`` of the repo, or ``None``."""
+    try:
+        proc = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=str(root) if root is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def build_run_manifest(
+    *,
+    config: Any = None,
+    settings: Optional[Mapping[str, Any]] = None,
+    stats: Any = None,
+    git_root: Union[str, Path, None] = None,
+    clock: Optional[Callable[[], float]] = None,
+) -> Dict[str, Any]:
+    """Assemble the provenance manifest of one pipeline run.
+
+    The manifest answers "which inputs, code version, and stage path
+    produced these datasets": the config's canonical fingerprint and
+    cache-key hash, every cache-key version tag, the engine/backend
+    settings the caller passes, the ambient fault-injection settings,
+    ``git describe``, and the tracer's per-stage span digest.
+
+    Deterministic by construction: identical config + settings + stage
+    path yield a byte-identical document.  Pass ``clock`` (e.g.
+    ``time.time``) to opt in to a ``generated_at`` timestamp — it is
+    excluded from the identity digest either way.
+    """
+    # Call-time import: the cache module imports this one for metrics.
+    from .cache import (
+        ACTIVITY_TABLE_VERSION,
+        MANIFEST_FORMAT,
+        PIPELINE_VERSION,
+        cache_key,
+        fingerprint,
+    )
+    from .faults import ENV_RATE, ENV_SEED, ENV_SITES, SITES
+
+    seed_text = os.environ.get(ENV_SEED)
+    fault_injection: Optional[Dict[str, Any]] = None
+    if seed_text:
+        sites_text = os.environ.get(ENV_SITES)
+        fault_injection = {
+            "seed": int(seed_text),
+            "rate": float(os.environ.get(ENV_RATE) or 0.05),
+            "sites": sorted(
+                s.strip() for s in sites_text.split(",") if s.strip()
+            ) if sites_text else sorted(SITES),
+        }
+
+    manifest: Dict[str, Any] = {
+        "format": RUN_MANIFEST_FORMAT,
+        "config": fingerprint(config) if config is not None else None,
+        "config_hash": cache_key(config=config) if config is not None else None,
+        "cache_versions": {
+            "pipeline": PIPELINE_VERSION,
+            "activity_table": ACTIVITY_TABLE_VERSION,
+            "entry_manifest": MANIFEST_FORMAT,
+        },
+        "settings": fingerprint(dict(settings)) if settings is not None else {},
+        "fault_injection": fault_injection,
+        "git": git_describe(git_root) or "unknown",
+        "backend": getattr(stats, "backend", None),
+        "span_digest": (
+            stats.tracer.stage_digest()
+            if stats is not None and getattr(stats, "tracer", None) is not None
+            else None
+        ),
+        "events": [str(e) for e in getattr(stats, "events", [])],
+    }
+    blob = json.dumps(manifest, sort_keys=True, separators=(",", ":"))
+    manifest["digest"] = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    if clock is not None:
+        manifest["generated_at"] = clock()
+    return manifest
+
+
+def write_run_manifest(path: Union[str, Path], manifest: Mapping[str, Any]) -> Path:
+    """Atomically write a manifest document (canonical JSON)."""
+    return write_json_atomic(path, dict(manifest))

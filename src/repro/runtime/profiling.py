@@ -1,4 +1,4 @@
-"""Per-stage wall-time and item-count accounting for pipeline runs.
+"""Per-stage pipeline accounting, as a thin view over the tracer.
 
 Historical-attribution services serve this workload with precomputation
 and caching; knowing *which* stage dominates is what makes that
@@ -7,14 +7,23 @@ precomputation targeted.  A :class:`PipelineStats` is threaded through
 builders); every stage records wall time and how many items it fanned
 out over.  The CLI surfaces it via ``simulate --profile`` and the
 scaling benchmark persists it to ``benchmarks/results/``.
+
+Since the observability layer landed, :class:`PipelineStats` no longer
+stores timings itself: every ``stage()`` block opens a span on an
+underlying :class:`~repro.runtime.observability.Tracer` (kind
+``"stage"``), ``note()`` doubles as a span annotation, and ``events``
+*is* the tracer's event log.  The render/compare API is unchanged;
+``stages`` is computed from the tracer's finished stage spans, so the
+profile table and the exported JSON-lines trace can never disagree.
 """
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
+
+from .observability import MetricsRegistry, Span, Tracer, resolve_metrics
 
 __all__ = ["StageTiming", "PipelineStats"]
 
@@ -34,7 +43,6 @@ class StageTiming:
         return self.items / self.seconds
 
 
-@dataclass
 class PipelineStats:
     """Ordered per-stage timings of one pipeline run.
 
@@ -42,39 +50,93 @@ class PipelineStats:
     degradation log (cache quarantines, failed stores, worker-pool
     retries, serial fallback).  A clean run has an empty list; anything
     in it means the pipeline survived a fault and how.
+
+    Parameters
+    ----------
+    tracer:
+        The :class:`~repro.runtime.observability.Tracer` this object
+        views; a fresh one is created when omitted.  ``stages`` and
+        ``events`` are projections of its spans and event log.
+    metrics:
+        The :class:`~repro.runtime.observability.MetricsRegistry` the
+        run aggregates into (default: the process-global registry).
     """
 
-    backend: str = "serial"
-    stages: List[StageTiming] = field(default_factory=list)
-    events: List[str] = field(default_factory=list)
+    def __init__(
+        self,
+        backend: str = "serial",
+        *,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.backend = backend
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = resolve_metrics(metrics)
+
+    @property
+    def stages(self) -> List[StageTiming]:
+        """Finished stage spans, projected to the profile view."""
+        return [
+            StageTiming(name=span.name, seconds=span.seconds, items=span.items)
+            for span in self.tracer.stage_spans()
+        ]
+
+    @property
+    def events(self) -> List[str]:
+        """The tracer's event log (the very list object, mutable)."""
+        return self.tracer.events
 
     def note(self, message: str) -> None:
         """Record one runtime event (retry, quarantine, degradation)."""
-        self.events.append(message)
+        self.tracer.note(message)
 
     def drain_events_from(self, *sources: object) -> None:
-        """Move the ``events`` logs of caches/executors into this run."""
+        """Move the ``events`` logs of caches/executors into this run.
+
+        The source log is snapshotted before extending and cleared
+        afterwards, so a source reused across runs never re-reports old
+        events — and draining a source that shares this run's event
+        list (including this object itself) is a safe no-op instead of
+        an unbounded self-extension.
+        """
+        own = self.events
         for source in sources:
             log = getattr(source, "events", None)
-            if not log:
+            if log is None or log is own:
                 continue
-            self.events.extend(str(event) for event in log)
-            log.clear()
+            pending = [str(event) for event in log]
+            if not pending:
+                continue
+            try:
+                log.clear()
+            except AttributeError:
+                pass  # immutable source log: report it, cannot drain it
+            for event in pending:
+                self.note(event)
 
     @contextmanager
-    def stage(self, name: str, items: Optional[int] = None) -> Iterator[StageTiming]:
-        """Time a stage; the yielded record can be given a late item count."""
-        timing = StageTiming(name=name, seconds=0.0, items=items)
-        start = time.perf_counter()
-        try:
-            yield timing
-        finally:
-            timing.seconds = time.perf_counter() - start
-            self.stages.append(timing)
+    def stage(
+        self, name: str, items: Optional[int] = None, **attrs: object
+    ) -> Iterator[Span]:
+        """Time a stage; the yielded span can be given a late item count.
 
-    def record(self, name: str, seconds: float, items: Optional[int] = None) -> None:
+        Extra keyword attributes (component, engine, registry, ...)
+        land on the stage's span and flow into the exported trace and
+        the manifest's span digest.
+        """
+        span = self.tracer.start_span(name, kind="stage", items=items, **attrs)
+        try:
+            yield span
+        finally:
+            self.tracer.finish_span(span)
+            self.metrics.observe(f"stage.{name}.seconds", span.seconds)
+
+    def record(
+        self, name: str, seconds: float, items: Optional[int] = None, **attrs: object
+    ) -> None:
         """Append an externally measured stage."""
-        self.stages.append(StageTiming(name=name, seconds=seconds, items=items))
+        self.tracer.record(name, seconds, kind="stage", items=items, **attrs)
+        self.metrics.observe(f"stage.{name}.seconds", seconds)
 
     def total_seconds(self) -> float:
         return sum(stage.seconds for stage in self.stages)
@@ -92,12 +154,13 @@ class PipelineStats:
 
     def render(self) -> str:
         """Fixed-width table of stages, for terminals and result files."""
-        total = self.total_seconds()
+        stages = self.stages
+        total = sum(stage.seconds for stage in stages)
         lines = [
             f"Pipeline profile ({self.backend} backend, {total:.3f}s total)",
             f"{'stage':<28} {'seconds':>9} {'share':>7} {'items':>8}",
         ]
-        for stage in self.stages:
+        for stage in stages:
             share = stage.seconds / total if total > 0 else 0.0
             items = "" if stage.items is None else str(stage.items)
             lines.append(
@@ -148,3 +211,9 @@ class PipelineStats:
             f"{'total':<28} {total_a:>9.3f}s {total_b:>9.3f}s {speedup:>8}"
         )
         return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PipelineStats backend={self.backend} "
+            f"stages={len(self.stages)} events={len(self.events)}>"
+        )

@@ -227,21 +227,24 @@ def build_datasets(
             timeout=timeout,
             min_peers=min_peers,
         )
-        with stats.stage("cache:lookup") as timing:
+        with stats.stage("cache:lookup", component="cache") as timing:
             artifact = cache.load(key)
         stats.drain_events_from(cache)
         if artifact is not None:
             timing.items = 1
+            timing.set_attr("cache", "hit")
             if (
                 isinstance(artifact, dict)
                 and artifact.get("format") == _PARTS_FORMAT
             ):
                 return DatasetBundle._from_parts(artifact["parts"])
             return artifact
+        timing.set_attr("cache", "miss")
 
     spec = executor if executor is not None else jobs
     executor = resolve_executor(spec)
     owns_executor = executor is not spec
+    executor.instrument(stats.tracer, stats.metrics)
     stats.backend = executor.name
     try:
         bundle = _build(
@@ -257,7 +260,7 @@ def build_datasets(
             executor.close()
 
     if cache is not None and key is not None:
-        with stats.stage("cache:store"):
+        with stats.stage("cache:store", component="cache"):
             cache.store(
                 key, {"format": _PARTS_FORMAT, "parts": bundle._to_parts()}
             )
@@ -276,11 +279,11 @@ def _build(
     min_peers: int,
 ) -> DatasetBundle:
     """The uncached pipeline body (world → archive → restore → lifetimes)."""
-    with stats.stage("simulate") as timing:
+    with stats.stage("simulate", component="simulation") as timing:
         world = WorldSimulator(config).run()
         timing.items = len(world.lives)
 
-    with stats.stage("archive") as timing:
+    with stats.stage("archive", component="rir") as timing:
         clean = DelegationArchive(world.registries, config.end_day)
         windows = {w.source: (w.first_day, w.last_day) for w in clean.sources()}
         defects: List[InjectedDefect] = []
@@ -306,17 +309,17 @@ def _build(
         stats=stats,
     )
 
-    with stats.stage("admin-lifetimes") as timing:
+    with stats.stage("admin-lifetimes", component="lifetimes") as timing:
         admin_lives = build_admin_lifetimes(restored, executor=executor)
         timing.items = len(admin_lives)
-    with stats.stage("bgp-lifetimes") as timing:
+    with stats.stage("bgp-lifetimes", component="lifetimes") as timing:
         op_lives = build_bgp_lifetimes(
             world.activities, timeout=timeout, min_peers=min_peers,
             end_day=config.end_day, executor=executor,
         )
         timing.items = len(op_lives)
 
-    with stats.stage("assemble"):
+    with stats.stage("assemble", component="pipeline"):
         bundle = DatasetBundle(
             world=world,
             archive=archive,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.asn import IanaLedger
 from repro.rir import (
-    EXTENDED,
     REGULAR,
     ArchiveOverlay,
     DelegationArchive,

@@ -301,7 +301,7 @@ class TestWorldPipeline:
     def test_cache_warm_start_skips_stream_stages(self, world, window,
                                                   tmp_path):
         start, end = window
-        cache = ArtifactCache(tmp_path)
+        cache = ArtifactCache(tmp_path, faults=None)  # pins exact hit counts
         cold_stats = PipelineStats()
         cold_lives, _ = build_operational_dataset(
             world, start=start, end=end, cache=cache, stats=cold_stats,
@@ -336,7 +336,7 @@ class TestWorldPipeline:
     def test_segmentation_params_outside_cache_key(self, world, window,
                                                    tmp_path):
         start, end = window
-        cache = ArtifactCache(tmp_path)
+        cache = ArtifactCache(tmp_path, faults=None)  # pins exact hit counts
         build_operational_dataset(world, start=start, end=end, cache=cache)
         relaxed, _ = build_operational_dataset(
             world, start=start, end=end, cache=cache, timeout=5, min_peers=1,

@@ -7,7 +7,6 @@ parser crashes: malformed input must raise the module's typed error
 
 import io
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -75,7 +75,7 @@ class TestExecutorSpecs:
 
 class TestCachedBundle:
     def test_warm_hit_equals_cold_build(self, tmp_path, serial_bundle):
-        cache = ArtifactCache(tmp_path)
+        cache = ArtifactCache(tmp_path, faults=None)  # pins exact hit counts
         cold = build_datasets(tiny(seed=7), cache=cache)
         stats = PipelineStats()
         warm = build_datasets(tiny(seed=7), cache=cache, stats=stats)
@@ -92,7 +92,7 @@ class TestCachedBundle:
             )
 
     def test_parameter_change_misses(self, tmp_path):
-        cache = ArtifactCache(tmp_path)
+        cache = ArtifactCache(tmp_path, faults=None)  # pins exact hit counts
         build_datasets(tiny(seed=7), cache=cache)
         build_datasets(tiny(seed=7), cache=cache, timeout=60)
         assert cache.misses == 2

@@ -1,7 +1,5 @@
 """Tests for the six-step restoration pipeline against injected truth."""
 
-import pytest
-
 from repro.asn import IanaLedger
 from repro.rir import (
     ERX_PLACEHOLDER_DATE,

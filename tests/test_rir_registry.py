@@ -7,7 +7,6 @@ from repro.rir import (
     DEFAULT_POLICIES,
     Registry,
     RegistryError,
-    RirPolicy,
     Status,
     default_policy,
 )

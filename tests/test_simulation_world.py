@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.bgp import MALICIOUS_KINDS, NOISE_ORIGIN
+from repro.bgp import NOISE_ORIGIN
 from repro.core import Category
-from repro.rir import Status
 from repro.simulation import WorldSimulator, build_datasets, tiny
 from repro.timeline import from_iso
 
