@@ -3,10 +3,17 @@
 
 Compares the per-stage wall-time histograms in
 ``benchmarks/results/metrics_snapshot.json`` (written by the benchmark
-session's autouse fixture — see ``conftest.py``) against the committed
-baseline ``benchmarks/results/baseline.json`` and fails when any
-baseline stage, or the stage total, regresses by more than the
-tolerance (default 25%).
+session's ``pytest_sessionfinish`` hook — see ``conftest.py``) against
+the committed baseline ``benchmarks/results/baseline.json`` and fails
+when any baseline stage, or the stage total, regresses by more than
+the tolerance (default 25%).
+
+When the baseline and snapshot disagree on the *set* of stages, the
+gate reports the symmetric difference and fails without comparing
+timings: a renamed or added stage is a pipeline-shape change that
+needs an intentional ``--write-baseline``, not a speed verdict.
+A snapshot flagged incomplete (the benchmark session did not exit
+cleanly) also fails rather than gating partial timings.
 
 The gate reads the machine-readable snapshot, never the human-oriented
 ``.txt`` result tables, so a formatting change can never silently
@@ -78,7 +85,16 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    current = stage_seconds(load_json(args.snapshot))
+    snapshot = load_json(args.snapshot)
+    session = snapshot.get("session", {})
+    if session.get("incomplete"):
+        sys.exit(
+            f"perf gate: {args.snapshot} is from an incomplete benchmark "
+            f"session (exitstatus {session.get('exitstatus')}) — its "
+            f"timings cover only part of the suite; fix the failing "
+            f"benchmarks before gating"
+        )
+    current = stage_seconds(snapshot)
     if not current:
         sys.exit(f"perf gate: no stage.*.seconds histograms in {args.snapshot}")
 
@@ -97,17 +113,38 @@ def main(argv=None) -> int:
     baseline_doc = load_json(args.baseline)
     if baseline_doc.get("format") != BASELINE_FORMAT:
         sys.exit(f"perf gate: {args.baseline} is not a {BASELINE_FORMAT} document")
-    baseline = {k: float(v) for k, v in baseline_doc["stages"].items()}
+    stages = baseline_doc.get("stages")
+    if not isinstance(stages, dict) or not stages:
+        sys.exit(
+            f"perf gate: {args.baseline} has no stage table — regenerate "
+            f"the baseline with --write-baseline"
+        )
+    baseline = {k: float(v) for k, v in stages.items()}
+
+    # a stage-set disagreement means the pipeline shape changed, not its
+    # speed: report the symmetric difference instead of gating timings
+    # that no longer describe the same stages
+    removed = sorted(set(baseline) - set(current))
+    added = sorted(set(current) - set(baseline))
+    if removed or added:
+        print("perf gate: baseline and snapshot disagree on the stage set:",
+              file=sys.stderr)
+        for name in removed:
+            print(f"  - {name!r} in baseline but missing from the snapshot",
+                  file=sys.stderr)
+        for name in added:
+            print(f"  + {name!r} in the snapshot but not in baseline",
+                  file=sys.stderr)
+        print("  if the stage change is intentional, refresh the committed "
+              "baseline: python benchmarks/check_perf_gate.py --write-baseline",
+              file=sys.stderr)
+        return 1
 
     failures = []
     rows = []
     for name in sorted(baseline):
         base = baseline[name]
-        cur = current.get(name)
-        if cur is None:
-            rows.append((name, base, None, "MISSING"))
-            failures.append(f"stage {name!r} present in baseline but not in snapshot")
-            continue
+        cur = current[name]
         delta = (cur - base) / base if base > 0 else 0.0
         gated = base >= args.min_seconds
         status = "ok" if delta <= args.tolerance else ("FAIL" if gated else "noisy")
@@ -117,8 +154,6 @@ def main(argv=None) -> int:
                 f"stage {name!r} regressed {delta:+.1%} "
                 f"({base:.3f}s -> {cur:.3f}s, tolerance {args.tolerance:.0%})"
             )
-    for name in sorted(set(current) - set(baseline)):
-        rows.append((name, None, current[name], "new"))
 
     base_total = float(baseline_doc.get("total_seconds", sum(baseline.values())))
     cur_total = sum(current.get(name, 0.0) for name in baseline)
@@ -132,9 +167,7 @@ def main(argv=None) -> int:
     width = max((len(r[0]) for r in rows), default=8)
     print(f"{'stage':<{width}} {'baseline':>10} {'current':>10}  verdict")
     for name, base, cur, verdict in rows:
-        base_txt = "" if base is None else f"{base:.3f}s"
-        cur_txt = "" if cur is None else f"{cur:.3f}s"
-        print(f"{name:<{width}} {base_txt:>10} {cur_txt:>10}  {verdict}")
+        print(f"{name:<{width}} {base:>9.3f}s {cur:>9.3f}s  {verdict}")
     print(f"{'total':<{width}} {base_total:>9.3f}s {cur_total:>9.3f}s  {total_delta:+.1%}")
 
     if failures:

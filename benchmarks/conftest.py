@@ -35,20 +35,33 @@ METRICS_SNAPSHOT = RESULTS_DIR / "metrics_snapshot.json"
 CACHE_DIR = Path(__file__).parent / ".cache"
 
 
-@pytest.fixture(scope="session", autouse=True)
-def session_metrics():
-    """Aggregate the whole session into one metrics snapshot.
+def pytest_sessionstart(session):
+    """Clear the process-global registry up front so a warm pytest
+    process never double-counts into the session snapshot."""
+    session.config._repro_metrics = reset_metrics()
 
-    The process-global registry is cleared up front (so a warm pytest
-    process never double-counts) and snapshotted to
-    ``benchmarks/results/metrics_snapshot.json`` at session end;
-    ``benchmarks/check_perf_gate.py`` compares the per-stage wall
-    histograms in it against the committed baseline.
+
+def pytest_sessionfinish(session, exitstatus):
+    """Snapshot the whole session's metrics, even on failure.
+
+    A ``sessionfinish`` hook (unlike the fixture teardown this
+    replaces) also runs when the session aborts part-way — e.g. under
+    ``-x`` — so a partially-failed session still emits a snapshot
+    rather than leaving a stale one from the previous run on disk.
+    The snapshot carries the session verdict; the perf gate refuses to
+    compare timings from an ``incomplete`` session, whose stage
+    histograms cover only the benchmarks that got to run.
     """
-    metrics = reset_metrics()
-    yield metrics
+    metrics = getattr(session.config, "_repro_metrics", None)
+    if metrics is None:  # sessionstart never ran (collection-time crash)
+        return
+    snapshot = metrics.snapshot()
+    snapshot["session"] = {
+        "exitstatus": int(exitstatus),
+        "incomplete": int(exitstatus) != 0,
+    }
     RESULTS_DIR.mkdir(exist_ok=True)
-    write_json_atomic(METRICS_SNAPSHOT, metrics.snapshot())
+    write_json_atomic(METRICS_SNAPSHOT, snapshot)
 
 
 @pytest.fixture(scope="session")

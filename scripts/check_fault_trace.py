@@ -33,9 +33,11 @@ from repro.runtime import (
     ArtifactCache,
     PipelineStats,
     ProcessPoolBackend,
+    build_ledger,
     build_run_manifest,
     reset_metrics,
     write_json_atomic,
+    write_ledger,
     write_run_manifest,
 )
 from repro.runtime.faults import from_env
@@ -93,6 +95,10 @@ def main(argv=None) -> int:
 
     trace_path = stats.tracer.write_jsonl(out / "trace.jsonl")
     write_json_atomic(out / "metrics.json", metrics.snapshot())
+    # the dataflow ledger must stay conserving under injection: retried
+    # tasks may not double-count, failed tasks may not leak partial
+    # counts (scripts/check_ledger.py gates this artifact in CI)
+    write_ledger(out / "ledger.json", build_ledger(metrics))
     manifest = build_run_manifest(
         config=config, settings={"jobs": args.jobs}, stats=stats
     )

@@ -55,6 +55,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 
 from ..asn.numbers import ASN
 from ..runtime.executor import ExecutorSpec, resolve_executor
+from ..runtime.ledger import ledger_enabled
 from ..timeline.dates import Day
 from ..timeline.intervals import Interval, IntervalSet
 from .collector import Collector, all_peer_asns
@@ -93,6 +94,10 @@ DEFAULT_REBUILD_FRACTION = 0.5
 #: Multiset as (announcement, count) pairs — the picklable form used in
 #: schedules and executor payloads.
 _Items = List[Tuple[Announcement, int]]
+
+#: Engine run class → ledger bucket name (class 2 = observed by ≥
+#: ``min_corroboration`` peers, class 1 = single-peer).
+_CLASS_NAMES = {2: "observed", 1: "single_peer"}
 
 
 @dataclass(frozen=True)
@@ -569,6 +574,12 @@ class ActivityReport:
     stream_seconds: float = 0.0
     sanitize_seconds: float = 0.0
     visibility_seconds: float = 0.0
+    #: ASN-day totals per visibility class *before* the cross-chunk run
+    #: merge (ledger input side).  Empty when the ledger is disabled.
+    class_days_in: Dict[str, int] = field(default_factory=dict)
+    #: The same totals *after* run coalescing; the merge must conserve
+    #: them exactly (coalescing joins contiguous runs, never day counts).
+    class_days: Dict[str, int] = field(default_factory=dict)
 
 
 def _activity_chunk_task(payload):
@@ -681,6 +692,8 @@ def _run_schedule(
     rebuilds = 0
     contributions = 0
     sanitize_seconds = 0.0
+    account_days = ledger_enabled()
+    class_days_in: Dict[str, int] = {}
     for (
         runs,
         chunk_kept,
@@ -698,10 +711,24 @@ def _run_schedule(
         for asn, runs_for_asn in runs.items():
             dst = merged.setdefault(asn, [])
             for run in runs_for_asn:
+                if account_days:
+                    name = _CLASS_NAMES[run[0]]
+                    class_days_in[name] = (
+                        class_days_in.get(name, 0) + run[2] - run[1] + 1
+                    )
                 if dst and dst[-1][0] == run[0] and dst[-1][2] + 1 == run[1]:
                     dst[-1] = (run[0], dst[-1][1], run[2])
                 else:
                     dst.append(run)
+
+    class_days: Dict[str, int] = {}
+    if account_days:
+        for asn_runs in merged.values():
+            for cls, run_start_day, run_end_day in asn_runs:
+                name = _CLASS_NAMES[cls]
+                class_days[name] = (
+                    class_days.get(name, 0) + run_end_day - run_start_day + 1
+                )
 
     report = ActivityReport(
         days=end - start + 1,
@@ -713,6 +740,8 @@ def _run_schedule(
         rebuilds=rebuilds,
         contributions=contributions,
         sanitize_seconds=sanitize_seconds,
+        class_days_in=class_days_in,
+        class_days=class_days,
     )
     return merged, report
 

@@ -17,6 +17,14 @@ Subcommands mirror the paper's workflow (Fig. 1):
 ``export-dumps``
     Materialize per-collector MRT dump files (one directory per
     collector, one file per day), fanned out one worker per collector.
+``inspect``
+    Consume exported run artifacts: ``inspect trace`` renders the span
+    tree (critical path starred, optional flamegraph export),
+    ``inspect ledger`` prints the record-conservation table (``--check``
+    fails on any non-conserving stage), and ``inspect diff`` compares
+    two runs — by directory or manifest-digest prefix via the
+    ``runs.jsonl`` index — attributing wall-time deltas to cache
+    misses, stage slowdowns, or fan-out imbalance.
 
 Runtime flags on ``simulate``: ``--jobs N`` fans the parallel pipeline
 stages out over N worker processes (bit-identical output),
@@ -35,11 +43,15 @@ datasets; cached activity tables make repeat runs skip the stream).
 
 Observability flags on ``simulate`` (see DESIGN.md §7): ``--trace``
 writes the run's nested span trace as JSON lines, ``--metrics-out``
-writes a counters/gauges/histograms snapshot, and ``--manifest`` writes
+writes a counters/gauges/histograms snapshot, ``--manifest`` writes
 the run provenance manifest (config hash, cache-key versions,
 engine/backend choices, fault-injection settings, git describe, span
-digest).  Each takes an optional path and defaults to a file next to
-the exported datasets; all three are written atomically.
+digest), and ``--ledger`` (implied by ``--trace``) writes the dataflow
+conservation ledger.  Each takes an optional path and defaults to a
+file next to the exported datasets; all are written atomically.
+Writing a manifest also appends the run to a ``runs.jsonl`` index
+(``--runs-index``) so ``inspect diff`` can address it later by digest
+prefix.
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -126,6 +138,18 @@ def build_parser() -> argparse.ArgumentParser:
                           "hash, cache-key versions, engine/backend choices, "
                           "fault-injection settings, git describe, span "
                           "digest; default PATH: OUT/run_manifest.json)")
+    simulate.add_argument("--ledger", nargs="?", const="@out", default=None,
+                          metavar="PATH",
+                          help="write the dataflow ledger (per-stage record "
+                          "conservation counters: in == kept + dropped-by-"
+                          "reason; default PATH: OUT/ledger.json). Implied "
+                          "by --trace")
+    simulate.add_argument("--runs-index", type=Path, default=None,
+                          metavar="PATH",
+                          help="append this run's manifest digest + artifact "
+                          "paths to a runs.jsonl index so 'repro inspect "
+                          "diff' can address it by digest prefix (default "
+                          "when --manifest is written: OUT/runs.jsonl)")
     simulate.add_argument("--bgp-engine",
                           choices=("interval", "columnar", "object"),
                           default="interval",
@@ -177,6 +201,42 @@ def build_parser() -> argparse.ArgumentParser:
                        "not both given (default 30)")
     dumps.add_argument("--jobs", type=int, default=None,
                        help="worker processes (one task per collector)")
+
+    inspect = sub.add_parser(
+        "inspect",
+        help="analyze exported run artifacts (trace/ledger/diff)",
+    )
+    inspect_sub = inspect.add_subparsers(dest="inspect_command", required=True)
+
+    itrace = inspect_sub.add_parser(
+        "trace", help="render a span tree with critical-path highlighting"
+    )
+    itrace.add_argument("trace", type=Path,
+                        help="trace.jsonl file (or the run directory)")
+    itrace.add_argument("--depth", type=int, default=None,
+                        help="maximum tree depth to print")
+    itrace.add_argument("--flame", type=Path, default=None, metavar="PATH",
+                        help="also write folded stacks (flamegraph input)")
+
+    iledger = inspect_sub.add_parser(
+        "ledger", help="print the record-conservation table"
+    )
+    iledger.add_argument("ledger", type=Path,
+                         help="ledger.json file (or the run directory)")
+    iledger.add_argument("--check", action="store_true",
+                         help="exit non-zero if any stage fails "
+                         "in == kept + dropped + routed")
+
+    idiff = inspect_sub.add_parser(
+        "diff", help="compare two runs and attribute wall-time deltas"
+    )
+    idiff.add_argument("run_a", help="run directory, or a manifest-digest "
+                       "prefix resolved through --runs-index")
+    idiff.add_argument("run_b", help="run directory or digest prefix")
+    idiff.add_argument("--runs-index", type=Path, default=Path("runs.jsonl"),
+                       metavar="PATH",
+                       help="runs.jsonl index used to resolve digest "
+                       "prefixes (default: ./runs.jsonl)")
     return parser
 
 
@@ -192,10 +252,13 @@ def _artifact_path(value, out: Path, default_name: str) -> Optional[Path]:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .runtime import (
         PipelineStats,
+        build_ledger,
         build_run_manifest,
         get_metrics,
+        record_run,
         resolve_executor,
         write_json_atomic,
+        write_ledger,
         write_run_manifest,
     )
     from .runtime.faults import from_env
@@ -203,6 +266,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     trace_path = _artifact_path(args.trace, args.out, "trace.jsonl")
     metrics_path = _artifact_path(args.metrics_out, args.out, "metrics.json")
     manifest_path = _artifact_path(args.manifest, args.out, "run_manifest.json")
+    ledger_path = _artifact_path(args.ledger, args.out, "ledger.json")
+    if ledger_path is None and trace_path is not None:
+        # --trace implies the ledger: the two artifacts describe the
+        # same run and the CI closure check expects both
+        ledger_path = args.out / "ledger.json"
 
     config = WorldConfig(seed=args.seed, scale=args.scale)
     metrics = get_metrics()
@@ -265,6 +333,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if metrics_path is not None:
         write_json_atomic(metrics_path, metrics.snapshot())
         print(f"wrote {metrics_path} (metrics snapshot)")
+    if ledger_path is not None:
+        ledger_doc = build_ledger(metrics)
+        write_ledger(ledger_path, ledger_doc)
+        verdict = (
+            "all conserving" if ledger_doc["conserved"]
+            else "CONSERVATION VIOLATIONS"
+        )
+        print(f"wrote {ledger_path} ({len(ledger_doc['stages'])} ledger "
+              f"stages, {verdict})")
     if manifest_path is not None:
         manifest = build_run_manifest(
             config=config,
@@ -286,6 +363,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         write_run_manifest(manifest_path, manifest)
         print(f"wrote {manifest_path} (run manifest, "
               f"digest {manifest['digest'][:12]})")
+        runs_index = args.runs_index
+        if runs_index is None:
+            runs_index = args.out / "runs.jsonl"
+        record_run(runs_index, manifest, {
+            "admin": admin_path,
+            "operational": op_path,
+            "manifest": manifest_path,
+            "metrics": metrics_path,
+            "trace": trace_path,
+            "ledger": ledger_path,
+        })
+        print(f"registered run {manifest['digest'][:12]} in {runs_index}")
     if args.profile:
         print()
         print(stats.render())
@@ -369,12 +458,63 @@ def _cmd_export_dumps(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .runtime import inspect as insp
+    from .runtime import ledger as ledger_mod
+    from .runtime import runs as runs_mod
+
+    if args.inspect_command == "trace":
+        view = insp.load_trace(args.trace)
+        print(insp.render_trace(view, max_depth=args.depth))
+        if args.flame is not None:
+            args.flame.parent.mkdir(parents=True, exist_ok=True)
+            args.flame.write_text("\n".join(insp.folded_stacks(view)) + "\n")
+            print(f"wrote {args.flame} (folded stacks)")
+        return 0
+
+    if args.inspect_command == "ledger":
+        document = ledger_mod.load_ledger(args.ledger)
+        print(ledger_mod.render_ledger(document))
+        if args.check:
+            violations = ledger_mod.check_ledger(document)
+            if violations:
+                for violation in violations:
+                    print(f"VIOLATION: {violation}", file=sys.stderr)
+                return 1
+            print(f"{len(document.get('stages', []))} stages conserve")
+        return 0
+
+    # diff: each side is a run directory, or a manifest-digest prefix
+    # resolved through the runs index
+    def resolve(ref: str) -> insp.RunArtifacts:
+        candidate = Path(ref)
+        if candidate.exists():
+            return insp.load_run(candidate)
+        entry = runs_mod.resolve_run(args.runs_index, ref)
+        run_dir = runs_mod.run_path(entry)
+        if run_dir is None:
+            raise runs_mod.RunLookupError(
+                f"run {ref!r} has no artifact paths in the index"
+            )
+        return insp.load_run(run_dir, artifacts=entry.get("artifacts", {}))
+
+    try:
+        run_a = resolve(args.run_a)
+        run_b = resolve(args.run_b)
+    except runs_mod.RunLookupError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(insp.render_diff(insp.diff_runs(run_a, run_b)))
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
     "export-mirror": _cmd_export_mirror,
     "squat-hunt": _cmd_squat_hunt,
     "export-dumps": _cmd_export_dumps,
+    "inspect": _cmd_inspect,
 }
 
 

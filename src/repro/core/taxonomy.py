@@ -23,10 +23,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..asn.numbers import ASN
 from ..lifetimes.records import AdminLifetime, BgpLifetime
+from ..runtime.ledger import record_boundary
+from ..runtime.observability import MetricsRegistry
 
 __all__ = ["Category", "TaxonomyResult", "classify"]
 
@@ -96,8 +98,17 @@ class TaxonomyResult:
 def classify(
     admin_lives: Mapping[ASN, Sequence[AdminLifetime]],
     op_lives: Mapping[ASN, Sequence[BgpLifetime]],
+    *,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> TaxonomyResult:
-    """Assign every lifetime of both kinds to its taxonomy category."""
+    """Assign every lifetime of both kinds to its taxonomy category.
+
+    Classification is a partition — each lifetime lands in exactly one
+    category — and the dataflow ledger holds it to that: the
+    ``taxonomy:admin``/``taxonomy:op`` boundaries route independently
+    counted lifetime totals into the per-category counts, so a skipped
+    or double-assigned lifetime fails the closure check.
+    """
     result = TaxonomyResult()
 
     for asn, lives in admin_lives.items():
@@ -132,4 +143,18 @@ def classify(
             result.op_assignment[(asn, index)] = category
             result.op_counts[category] = result.op_counts.get(category, 0) + 1
 
+    # `records_in` counts the input mappings directly — independent of
+    # the assignment bookkeeping the category counts come from
+    record_boundary(
+        "taxonomy:admin",
+        records_in=sum(len(lives) for lives in admin_lives.values()),
+        routed={c.value: n for c, n in result.admin_counts.items()},
+        metrics=metrics,
+    )
+    record_boundary(
+        "taxonomy:op",
+        records_in=sum(len(ops) for ops in op_lives.values()),
+        routed={c.value: n for c, n in result.op_counts.items()},
+        metrics=metrics,
+    )
     return result

@@ -36,6 +36,7 @@ from ..runtime.executor import (
     chunked,
     resolve_executor,
 )
+from ..runtime.ledger import record_boundary
 from ..runtime.profiling import PipelineStats
 from ..timeline.dates import Day
 from ..timeline.intervals import IntervalSet
@@ -52,6 +53,12 @@ __all__ = [
 
 #: The paper's BGP inactivity timeout (days).
 DEFAULT_TIMEOUT = 30
+
+
+def _attach(span, ledger_summary) -> None:
+    """Put a boundary summary on a stage span (no-op when disabled)."""
+    if ledger_summary is not None:
+        span.set_attr("ledger", ledger_summary)
 
 
 @dataclass
@@ -101,13 +108,24 @@ def _bgp_chunk_task(
     """
     items, timeout, min_peers, end_day = payload
     out: List[Tuple[ASN, List[BgpLifetime]]] = []
+    silent = 0
     for asn, activity in items:
         days = activity.active_days(min_peers=min_peers)
         if not days:
+            silent += 1
             continue
         out.append(
             (asn, lifetimes_from_activity(asn, days, timeout=timeout, end_day=end_day))
         )
+    # one aggregate ledger emission per chunk (never per record): every
+    # activity table either yields lifetimes or is silent at this
+    # min_peers threshold
+    record_boundary(
+        "bgp:segment",
+        records_in=len(items),
+        kept=len(out),
+        dropped={"no_active_days": silent},
+    )
     return out
 
 
@@ -191,12 +209,43 @@ def _object_stream_tables(
         for asn in set(observed_days) | set(single_days)
     }
     visibility_seconds += perf_counter() - t0
-    stats.record("bgp:stream", stream_seconds, items=end - start + 1,
-                 component="bgp", engine="object")
-    stats.record("bgp:sanitize", sanitize_seconds, items=san_stats.total_seen,
-                 component="bgp", engine="object")
-    stats.record("bgp:visibility", visibility_seconds, items=len(tables),
-                 component="bgp", engine="object")
+    span = stats.record("bgp:stream", stream_seconds, items=end - start + 1,
+                        component="bgp", engine="object")
+    _attach(span, record_boundary(
+        "bgp:stream",
+        records_in=san_stats.total_seen,
+        kept=san_stats.total_seen,
+        metrics=stats.metrics,
+    ))
+    span = stats.record("bgp:sanitize", sanitize_seconds,
+                        items=san_stats.total_seen,
+                        component="bgp", engine="object")
+    _attach(span, record_boundary(
+        "bgp:sanitize",
+        records_in=san_stats.total_seen,
+        kept=san_stats.kept,
+        dropped=san_stats.dropped,
+        metrics=stats.metrics,
+    ))
+    span = stats.record("bgp:visibility", visibility_seconds,
+                        items=len(tables),
+                        component="bgp", engine="object")
+    # ASN-day conservation: every day bucketed per ASN must reappear in
+    # exactly one interval of the built activity tables
+    _attach(span, record_boundary(
+        "bgp:visibility",
+        records_in=sum(len(d) for d in observed_days.values())
+        + sum(len(d) for d in single_days.values()),
+        routed={
+            "observed": sum(
+                t.observed.total_days for t in tables.values()
+            ),
+            "single_peer": sum(
+                t.single_peer.total_days for t in tables.values()
+            ),
+        },
+        metrics=stats.metrics,
+    ))
     stats.metrics.inc("bgp.elements", san_stats.total_seen)
     return tables
 
@@ -290,15 +339,36 @@ def build_operational_dataset(
                     day_chunk=day_chunk,
                     full_rebuild_fraction=full_rebuild_fraction,
                 )
-                stats.record("bgp:stream", report.stream_seconds,
-                             items=report.changed_days,
-                             component="bgp", engine="columnar")
-                stats.record("bgp:sanitize", report.sanitize_seconds,
-                             items=report.elements,
-                             component="bgp", engine="columnar")
-                stats.record("bgp:visibility", report.visibility_seconds,
-                             items=report.chunks,
-                             component="bgp", engine="columnar")
+                span = stats.record("bgp:stream", report.stream_seconds,
+                                    items=report.changed_days,
+                                    component="bgp", engine="columnar")
+                _attach(span, record_boundary(
+                    "bgp:stream",
+                    records_in=report.elements,
+                    kept=report.elements,
+                    metrics=stats.metrics,
+                ))
+                span = stats.record("bgp:sanitize", report.sanitize_seconds,
+                                    items=report.elements,
+                                    component="bgp", engine="columnar")
+                _attach(span, record_boundary(
+                    "bgp:sanitize",
+                    records_in=report.elements,
+                    kept=report.kept,
+                    dropped=report.dropped,
+                    metrics=stats.metrics,
+                ))
+                span = stats.record("bgp:visibility", report.visibility_seconds,
+                                    items=report.chunks,
+                                    component="bgp", engine="columnar")
+                # ASN-day conservation across the chunk-run merge: the
+                # coalescing join must neither lose nor invent days
+                _attach(span, record_boundary(
+                    "bgp:visibility",
+                    records_in=sum(report.class_days_in.values()),
+                    routed=report.class_days,
+                    metrics=stats.metrics,
+                ))
                 stats.metrics.inc("bgp.elements", report.elements)
                 stats.metrics.inc("bgp.contributions", report.contributions)
                 stats.metrics.inc("bgp.rebuilds", report.rebuilds)

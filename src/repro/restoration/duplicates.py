@@ -45,6 +45,7 @@ def resolve_duplicate_records(
     step = report.step("iv-duplicate-records")
     for registry, view in sorted(views.items()):
         affected = 0
+        rows_dropped = 0
         for asn, stints in view.stints.items():
             changed = False
             while True:
@@ -54,11 +55,15 @@ def resolve_duplicate_records(
                 a, b = clash
                 _keep, drop = _pick_winner(stints, stints[a], stints[b])
                 stints.remove(drop)
+                rows_dropped += 1
                 changed = True
             if changed:
                 affected += 1
         if affected:
             step.bump(f"{registry}_asns_deduplicated", affected)
+            # row-level twin of the ASN count: the dataflow ledger
+            # balances per-registry row conservation against this
+            step.bump(f"{registry}_duplicate_rows_dropped", rows_dropped)
 
 
 def _find_overlap(stints: List[Stint]):

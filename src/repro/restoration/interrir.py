@@ -69,8 +69,13 @@ def clean_inter_rir_overlaps(
             for registry in sorted(registries):
                 if rightful is not None and registry != rightful:
                     if not _looks_like_transfer(views, registry, asn):
+                        rows = len(views[registry].stints.get(asn, []))
                         _drop_asn(views[registry], asn)
                         step.bump("mistaken_allocations_removed")
+                        if rows:
+                            step.bump(
+                                f"{registry}_rows_dropped_mistaken", rows
+                            )
         # (i) transfer stale tails: trim the earlier holder at the
         # later holder's start
         _trim_stale_tails(views, asn, registries, step)
@@ -136,5 +141,10 @@ def _trim_stale_tails(
             trimmed.append(Stint(stint.start, start_b - 1, stint.record))
             changed = True
         if changed:
+            removed = len(stints) - len(trimmed)
             view_a.stints[asn] = trimmed
             step.bump("stale_transfer_tails_trimmed")
+            if removed:
+                # only entirely-stale rows leave the view; in-place
+                # trims keep their row (the ledger counts rows, not days)
+                step.bump(f"{reg_a}_rows_dropped_stale_tail", removed)

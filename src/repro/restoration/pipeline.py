@@ -26,6 +26,7 @@ from ..asn.blocks import IanaLedger
 from ..asn.numbers import ASN
 from ..rir.archive import DelegationArchive, Stint
 from ..runtime.executor import ExecutorSpec, resolve_executor
+from ..runtime.ledger import ledger_enabled, record_boundary
 from ..runtime.profiling import PipelineStats
 from ..timeline.dates import Day
 from .duplicates import resolve_duplicate_records
@@ -69,6 +70,11 @@ class RestoredDelegations:
         return seen
 
 
+def _view_rows(view: RegistryView) -> int:
+    """Observed rows (stints) currently held by one registry view."""
+    return sum(len(stints) for stints in view.stints.values())
+
+
 def _restore_registry_task(
     payload: Tuple[str, RegistryView, Optional[Mapping[ASN, Day]]],
 ) -> Tuple[str, RegistryView, RestorationReport]:
@@ -77,15 +83,51 @@ def _restore_registry_task(
     Module-level (picklable) and pure in its payload: the view is
     mutated in place, but under a process pool that copy is private to
     the worker and travels back in the return value.
+
+    Every step gets a ledger boundary (``restoration/<step>/<registry>``):
+    rows are counted independently before and after, and the drop
+    buckets come from the step's own semantic counters — so the closure
+    check (`in == kept + Σ dropped`) genuinely cross-validates the
+    step's bookkeeping against the rows it touched.  Under a process
+    pool the counters land in the worker-global registry and merge back
+    additively with the task result.
     """
     registry, view, erx_reference = payload
     report = RestorationReport()
     views = {registry: view}
-    measure_sameday_divergence(views, report)
-    recover_dropped_records(views, report)
-    bridge_unavailable_gaps(views, report)
-    resolve_duplicate_records(views, report)
-    restore_registration_dates(views, report, erx_reference=erx_reference)
+    # (step name, runner, (drop-reason, report-counter template) pairs);
+    # steps without drop buckets must be row-count-neutral.
+    steps = (
+        ("iii-same-day-divergence",
+         lambda: measure_sameday_divergence(views, report), ()),
+        ("ii-missing-records",
+         lambda: recover_dropped_records(views, report),
+         (("merged_into_recovered_row", "{r}_records_recovered"),)),
+        ("i-missing-file-gaps",
+         lambda: bridge_unavailable_gaps(views, report),
+         (("merged_across_file_gap", "{r}_gaps_bridged"),)),
+        ("iv-duplicate-records",
+         lambda: resolve_duplicate_records(views, report),
+         (("duplicate_overlap", "{r}_duplicate_rows_dropped"),)),
+        ("v-registration-dates",
+         lambda: restore_registration_dates(
+             views, report, erx_reference=erx_reference), ()),
+    )
+    for step_name, run, drop_buckets in steps:
+        rows_before = _view_rows(view)
+        run()
+        rows_after = _view_rows(view)
+        counts = report.step(step_name).counts
+        dropped = {
+            reason: counts.get(counter.format(r=registry), 0)
+            for reason, counter in drop_buckets
+        }
+        record_boundary(
+            f"restoration/{step_name}/{registry}",
+            records_in=rows_before,
+            kept=rows_after,
+            dropped=dropped,
+        )
     return registry, view, report
 
 
@@ -127,10 +169,11 @@ def restore_archive(
     (RestoredDelegations, RestorationReport)
     """
     executor = resolve_executor(executor)
-    if stats is not None:
-        executor.instrument(stats.tracer, stats.metrics)
-    else:
+    if stats is None:
         stats = PipelineStats()
+    # Always instrument: worker-side ledger counters only survive the
+    # pool round-trip when the executor snapshots worker metrics.
+    executor.instrument(stats.tracer, stats.metrics)
     registries = sorted(archive.registries())
 
     with stats.stage(
@@ -148,9 +191,10 @@ def restore_archive(
     # are not mistaken for file outages; duplicates are resolved before
     # dates so date repair sees one row per day.
     report = RestorationReport()
+    rows_before_steps = {r: _view_rows(views[r]) for r in registries}
     with stats.stage(
         "restore:per-registry", items=len(registries), component="restoration"
-    ):
+    ) as span:
         results = executor.map(
             _restore_registry_task,
             [(registry, views[registry], erx_reference) for registry in registries],
@@ -158,15 +202,39 @@ def restore_archive(
     for registry, view, worker_report in results:
         views[registry] = view
         report.merge(worker_report)
+    if ledger_enabled():
+        span.set_attr("ledger", {
+            "in": sum(rows_before_steps.values()),
+            "kept": sum(_view_rows(view) for view in views.values()),
+        })
 
     # Step (vi) compares already-clean per-registry timelines against
     # each other — the cross-registry join barrier, serial by design.
+    rows_before_vi = {r: _view_rows(views[r]) for r in registries}
     with stats.stage(
         "restore:inter-rir", items=len(views), component="restoration"
-    ):
+    ) as span:
         clean_inter_rir_overlaps(views, report, ledger=ledger)
+        vi_counts = report.step("vi-inter-rir").counts
+        for registry in registries:
+            summary = record_boundary(
+                f"restoration/vi-inter-rir/{registry}",
+                records_in=rows_before_vi[registry],
+                kept=_view_rows(views[registry]),
+                dropped={
+                    "mistaken_allocation": vi_counts.get(
+                        f"{registry}_rows_dropped_mistaken", 0
+                    ),
+                    "stale_transfer_tail": vi_counts.get(
+                        f"{registry}_rows_dropped_stale_tail", 0
+                    ),
+                },
+                metrics=stats.metrics,
+            )
+            if summary is not None:
+                span.set_attr(f"ledger.{registry}", summary)
 
-    with stats.stage("restore:merge", component="restoration"):
+    with stats.stage("restore:merge", component="restoration") as span:
         for view in views.values():
             view.prune_recovery_state()
         restored = RestoredDelegations(views=views, end_day=archive.end_day)
@@ -175,4 +243,13 @@ def restore_archive(
                 restored.stints.setdefault(asn, []).extend(stints)
         for stints in restored.stints.values():
             stints.sort(key=lambda s: (s.start, s.end))
+        # the cross-registry merge must neither lose nor invent rows
+        summary = record_boundary(
+            "restoration/merge",
+            records_in=sum(_view_rows(view) for view in views.values()),
+            kept=sum(len(stints) for stints in restored.stints.values()),
+            metrics=stats.metrics,
+        )
+        if summary is not None:
+            span.set_attr("ledger", summary)
     return restored, report

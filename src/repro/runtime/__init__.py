@@ -19,6 +19,14 @@ reproduction pipeline the same operational shape.
   injection (torn writes, disk full, worker death, ...) so every
   failure mode the hardening claims to survive is provoked in tests
   and CI.
+* :mod:`repro.runtime.ledger` — dataflow conservation accounting:
+  every lossy boundary counts records in/kept/dropped-by-reason, a
+  closure checker fails any stage where the books don't balance.
+* :mod:`repro.runtime.inspect` — read-only consumers of the exported
+  artifacts: span-tree rendering, flamegraph export, and cross-run
+  diffing with cause attribution.
+* :mod:`repro.runtime.runs` — append-only ``runs.jsonl`` registry so
+  past runs are addressable by manifest-digest prefix.
 """
 
 from .cache import (
@@ -49,6 +57,31 @@ from .faults import (
     FaultInjector,
     FaultSpec,
 )
+from .inspect import (
+    RunArtifacts,
+    TraceView,
+    critical_path,
+    diff_runs,
+    folded_stacks,
+    load_run,
+    load_trace,
+    render_diff,
+    render_trace,
+)
+from .ledger import (
+    LEDGER_FORMAT,
+    LedgerBoundary,
+    boundary,
+    build_ledger,
+    check_ledger,
+    ledger_disabled,
+    ledger_enabled,
+    load_ledger,
+    record_boundary,
+    render_ledger,
+    set_ledger_enabled,
+    write_ledger,
+)
 from .observability import (
     RUN_MANIFEST_FORMAT,
     TRACE_FORMAT,
@@ -64,6 +97,14 @@ from .observability import (
     write_run_manifest,
 )
 from .profiling import PipelineStats, StageTiming
+from .runs import (
+    RUNS_FORMAT,
+    RunLookupError,
+    load_runs,
+    record_run,
+    resolve_run,
+    run_path,
+)
 
 __all__ = [
     "RUN_MANIFEST_FORMAT",
@@ -102,4 +143,31 @@ __all__ = [
     "FaultSpec",
     "PipelineStats",
     "StageTiming",
+    "LEDGER_FORMAT",
+    "LedgerBoundary",
+    "boundary",
+    "build_ledger",
+    "check_ledger",
+    "ledger_disabled",
+    "ledger_enabled",
+    "load_ledger",
+    "record_boundary",
+    "render_ledger",
+    "set_ledger_enabled",
+    "write_ledger",
+    "RunArtifacts",
+    "TraceView",
+    "critical_path",
+    "diff_runs",
+    "folded_stacks",
+    "load_run",
+    "load_trace",
+    "render_diff",
+    "render_trace",
+    "RUNS_FORMAT",
+    "RunLookupError",
+    "load_runs",
+    "record_run",
+    "resolve_run",
+    "run_path",
 ]

@@ -133,10 +133,12 @@ class PipelineStats:
 
     def record(
         self, name: str, seconds: float, items: Optional[int] = None, **attrs: object
-    ) -> None:
-        """Append an externally measured stage."""
-        self.tracer.record(name, seconds, kind="stage", items=items, **attrs)
+    ) -> Span:
+        """Append an externally measured stage; returns its span so
+        callers can attach late attributes (ledger summaries)."""
+        span = self.tracer.record(name, seconds, kind="stage", items=items, **attrs)
         self.metrics.observe(f"stage.{name}.seconds", seconds)
+        return span
 
     def total_seconds(self) -> float:
         return sum(stage.seconds for stage in self.stages)

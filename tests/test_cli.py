@@ -86,6 +86,24 @@ class TestCommands:
         admin = (tmp_path / "data" / "admin_dataset.json").read_text()
         assert json.loads(admin)  # valid dataset after warm rebuild
 
+    def test_trace_implies_ledger_and_registers_run(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        rc = main([
+            "simulate", "--scale", "0.006", "--seed", "3",
+            "--out", str(out), "--trace", "--metrics-out", "--manifest",
+        ])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "all conserving" in printed
+        assert "registered run" in printed
+        ledger = json.loads((out / "ledger.json").read_text())
+        assert ledger["format"] == "ledger/v1"
+        assert ledger["conserved"] is True
+        index = (out / "runs.jsonl").read_text().splitlines()
+        assert len(index) == 1
+        manifest = json.loads((out / "run_manifest.json").read_text())
+        assert json.loads(index[0])["digest"] == manifest["digest"]
+
     def test_export_mirror(self, tmp_path, capsys):
         rc = main([
             "export-mirror", "--scale", "0.006", "--seed", "3",
@@ -102,6 +120,97 @@ class TestCommands:
 
         reader = MirrorReader(tmp_path / "mirror")
         assert reader.sources()
+
+
+class TestInspectCommands:
+    @pytest.fixture()
+    def two_runs(self, tmp_path):
+        """A cold run and a warm (cache-hit) rerun of the same config."""
+        index = tmp_path / "runs.jsonl"
+
+        def simulate(name):
+            out = tmp_path / name
+            assert main([
+                "simulate", "--scale", "0.006", "--seed", "3",
+                "--out", str(out), "--cache-dir", str(tmp_path / "cache"),
+                "--trace", "--metrics-out", "--manifest",
+                "--runs-index", str(index),
+            ]) == 0
+            return out
+
+        return simulate("cold"), simulate("warm"), index
+
+    def test_inspect_trace_renders_and_exports_stacks(
+        self, two_runs, tmp_path, capsys
+    ):
+        cold, _, _ = two_runs
+        capsys.readouterr()
+        flame = tmp_path / "stacks.folded"
+        rc = main([
+            "inspect", "trace", str(cold / "trace.jsonl"),
+            "--depth", "2", "--flame", str(flame),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "critical path starred" in out
+        assert "simulate" in out
+        assert flame.read_text().splitlines()
+
+    def test_inspect_ledger_check_passes_on_conserving_run(
+        self, two_runs, capsys
+    ):
+        cold, _, _ = two_runs
+        capsys.readouterr()
+        rc = main(["inspect", "ledger", str(cold / "ledger.json"), "--check"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stages conserve" in out
+
+    def test_inspect_ledger_check_fails_on_violation(self, tmp_path, capsys):
+        doc = {
+            "format": "ledger/v1", "conserved": False,
+            "stages": [{"stage": "x:f", "in": 5, "kept": 3,
+                        "dropped": {}, "routed": {}}],
+        }
+        path = tmp_path / "ledger.json"
+        path.write_text(json.dumps(doc))
+        rc = main(["inspect", "ledger", str(path), "--check"])
+        assert rc == 1
+        assert "VIOLATION" in capsys.readouterr().err
+
+    def test_inspect_diff_by_path_attributes_cache_hit(
+        self, two_runs, capsys
+    ):
+        cold, warm, _ = two_runs
+        capsys.readouterr()
+        rc = main(["inspect", "diff", str(cold), str(warm)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cache-hit" in out
+        assert "cache miss→hit" in out
+
+    def test_inspect_diff_by_digest_prefix(self, two_runs, capsys):
+        cold, warm, index = two_runs
+        capsys.readouterr()
+        digests = [
+            json.loads(line)["digest"]
+            for line in index.read_text().splitlines()
+        ]
+        assert len(digests) == 2 and digests[0] != digests[1]
+        rc = main([
+            "inspect", "diff", digests[0][:12], digests[1][:12],
+            "--runs-index", str(index),
+        ])
+        assert rc == 0
+        assert "Run diff" in capsys.readouterr().out
+
+    def test_inspect_diff_unknown_prefix_exits_2(self, tmp_path, capsys):
+        rc = main([
+            "inspect", "diff", "feedfeed", "beefbeef",
+            "--runs-index", str(tmp_path / "runs.jsonl"),
+        ])
+        assert rc == 2
+        assert "no run" in capsys.readouterr().err
 
 
 class TestTopLevelApi:
