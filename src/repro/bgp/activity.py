@@ -254,9 +254,9 @@ class ActivityEngine:
         self._last_day: Optional[Day] = None
         # sanitize accounting: current per-day rates and day-weighted totals
         self._rate_kept = 0
-        self._rate_dropped: Dict[str, int] = {}
+        self._rate_dropped: Counter = Counter()
         self.kept = 0
-        self.dropped: Dict[str, int] = {}
+        self.dropped: Counter = Counter()
         self.rebuilds = 0
 
     @property
@@ -327,7 +327,7 @@ class ActivityEngine:
             self.kept += self._rate_kept * span
             for reason, n in self._rate_dropped.items():
                 if n:
-                    self.dropped[reason] = self.dropped.get(reason, 0) + n * span
+                    self.dropped[reason] += n * span
         self._last_day = day
 
     def _apply_contribution(
@@ -336,9 +336,7 @@ class ActivityEngine:
         contrib = self._index.contribution(ann)
         self._rate_kept += delta * contrib.kept
         for reason, n in contrib.dropped:
-            self._rate_dropped[reason] = (
-                self._rate_dropped.get(reason, 0) + delta * n
-            )
+            self._rate_dropped[reason] += delta * n
         n_peers = self._n_peers
         pair_count = self._pair_count
         distinct = self._index.table.distinct
@@ -373,7 +371,7 @@ class ActivityEngine:
         self._pair_count = {}
         self._rows = {}
         self._rate_kept = 0
-        self._rate_dropped = {}
+        self._rate_dropped = Counter()
         for ann, count in self._live.items():
             self._apply_contribution(ann, count, touched)
         touched.update(previously_visible)
@@ -688,12 +686,12 @@ def _run_schedule(
 
     merged: Dict[ASN, List[Tuple[int, Day, Day]]] = {}
     kept = 0
-    dropped: Dict[str, int] = {}
+    dropped: Counter = Counter()
     rebuilds = 0
     contributions = 0
     sanitize_seconds = 0.0
     account_days = ledger_enabled()
-    class_days_in: Dict[str, int] = {}
+    class_days_in: Counter = Counter()
     for (
         runs,
         chunk_kept,
@@ -706,29 +704,22 @@ def _run_schedule(
         rebuilds += chunk_rebuilds
         contributions += chunk_contributions
         sanitize_seconds += compute_seconds
-        for reason, n in chunk_dropped.items():
-            dropped[reason] = dropped.get(reason, 0) + n
+        dropped.update(chunk_dropped)
         for asn, runs_for_asn in runs.items():
             dst = merged.setdefault(asn, [])
             for run in runs_for_asn:
                 if account_days:
-                    name = _CLASS_NAMES[run[0]]
-                    class_days_in[name] = (
-                        class_days_in.get(name, 0) + run[2] - run[1] + 1
-                    )
+                    class_days_in[_CLASS_NAMES[run[0]]] += run[2] - run[1] + 1
                 if dst and dst[-1][0] == run[0] and dst[-1][2] + 1 == run[1]:
                     dst[-1] = (run[0], dst[-1][1], run[2])
                 else:
                     dst.append(run)
 
-    class_days: Dict[str, int] = {}
+    class_days: Counter = Counter()
     if account_days:
         for asn_runs in merged.values():
             for cls, run_start_day, run_end_day in asn_runs:
-                name = _CLASS_NAMES[cls]
-                class_days[name] = (
-                    class_days.get(name, 0) + run_end_day - run_start_day + 1
-                )
+                class_days[_CLASS_NAMES[cls]] += run_end_day - run_start_day + 1
 
     report = ActivityReport(
         days=end - start + 1,

@@ -1,0 +1,1067 @@
+"""Zero-copy columnar BGP record format (``bgp-records/v1``).
+
+The object pipeline materializes one :class:`~repro.bgp.messages.
+BgpElement` per (collector, peer, announcement) per day and re-derives
+everything §3.2 needs — prefix-length bounds, loop verdicts, peer
+visibility — one Python object at a time.  This module replaces that
+representation with a packed numpy structured array (one fixed-width
+row per element) plus interned side tables, so the three hot stages
+become batch array operations:
+
+* **Encoding** (``bgp:stream``) happens once, at materialization time:
+  every AS path is interned in a :class:`~repro.bgp.stream.PathTable`
+  and referenced by dense id; prefixes are packed as ``(family,
+  addr_hi, addr_lo, plen)`` integer columns; peer/origin/day/elem_type
+  are plain integer columns.  Per-announcement element fan-outs are
+  computed once as row *templates* and replayed per day with a single
+  vectorized gather, so no element objects ever exist.
+* **Sanitization** (``bgp:sanitize``) is two boolean masks: the §3.2
+  prefix-length bounds read straight off the ``family``/``plen``
+  columns, and the loop rule is one fancy-index into a per-path-id
+  loop table computed at intern time.  Drop-reason attribution is
+  element-for-element identical to :func:`repro.bgp.sanitize.
+  drop_reason` (prefix rule first, loop second, withdrawals exempt
+  from the loop check) — the property tests pin this.
+* **Visibility** (``bgp:visibility``) expands kept rows to their
+  distinct path ASNs through a CSR table and counts distinct
+  ``(asn, peer)`` pairs per day with sort/unique — no per-element set
+  churn.
+
+A record set serializes to a single self-describing container file
+(json header + 64-byte-aligned little-endian array sections) that is
+**memory-mapped** on later runs: a warm run never re-parses the dump,
+it just maps the file and runs the masks.  ``process:N`` fan-out hands
+workers ``(path, lo, hi)`` row slices of that file instead of pickled
+element lists; each worker maps the file once per process, so the
+payload cost is a few integers per chunk.
+
+The serial-vs-parallel byte-identity contract holds by construction:
+chunk boundaries are derived from the day range and the fixed
+``day_chunk`` (never the worker count), the chunk task is a pure
+function of ``(file, lo, hi)``, and chunk outputs are concatenated in
+chunk order.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap as _mmap
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from ..asn.numbers import ASN
+from ..net.prefix import (
+    GLOBAL_V4_MAX_LEN,
+    GLOBAL_V4_MIN_LEN,
+    GLOBAL_V6_MAX_LEN,
+    GLOBAL_V6_MIN_LEN,
+    Prefix,
+)
+from ..runtime.executor import ExecutorSpec, per_process, resolve_executor
+from ..timeline.dates import Day
+from .collector import Collector, all_peer_asns
+from .messages import ANNOUNCE, RIB, WITHDRAW, BgpElement
+from .sanitize import REASON_LOOP, REASON_PREFIX_LENGTH, SanitizeStats
+from .stream import Announcement, PathOracle, PathTable, decorate_path
+from .topology import AsTopology
+
+__all__ = [
+    "RECORDS_FORMAT",
+    "RECORDS_DAY_CHUNK",
+    "RECORD_DTYPE",
+    "KEEP",
+    "DROP_PREFIX_LENGTH",
+    "DROP_LOOP",
+    "RecordSet",
+    "RecordEncoder",
+    "records_from_elements",
+    "encode_world_records",
+    "sanitize_reasons",
+    "sanitize_stats",
+    "reason_names",
+    "records_peer_visibility",
+    "records_active_asns",
+    "day_class_arrays",
+    "day_slices",
+    "records_day_classes",
+]
+
+#: Format tag of the packed container (also its cache-key version).
+RECORDS_FORMAT = "bgp-records/v1"
+
+#: Default day span per classification chunk.  Much smaller than the
+#: columnar engine's 512: the vectorized pass sorts packed keys whose
+#: working set grows with the chunk's distinct (day, path, peer) rows,
+#: and week-sized chunks keep that sort inside cache (~5x faster than
+#: one whole-window chunk on a 6-month window; gains flatten below a
+#: week).  A fixed constant — never derived from the worker count — so
+#: chunk boundaries, and therefore output, are identical under any
+#: executor.
+RECORDS_DAY_CHUNK = 7
+
+_MAGIC = b"BGPREC01"
+
+#: Element-type codes in the ``elem_type`` column.
+_TYPE_CODES = {RIB: 0, ANNOUNCE: 1, WITHDRAW: 2}
+_CODE_TYPES = {v: k for k, v in _TYPE_CODES.items()}
+_W_CODE = _TYPE_CODES[WITHDRAW]
+
+#: Packed per-element row.  Field offsets are pinned explicitly (not
+#: left to platform alignment rules) so the on-disk layout is identical
+#: everywhere; every multi-byte field is little-endian.
+RECORD_DTYPE = np.dtype(
+    {
+        "names": [
+            "day", "sequence", "peer", "origin", "path",
+            "collector", "elem_type", "family",
+            "addr_hi", "addr_lo", "plen",
+        ],
+        "formats": [
+            "<i4", "<i4", "<u4", "<u4", "<i4",
+            "<u2", "u1", "u1",
+            "<u8", "<u8", "u1",
+        ],
+        "offsets": [0, 4, 8, 12, 16, 20, 22, 23, 24, 32, 40],
+        "itemsize": 48,
+    }
+)
+
+#: Sanitize verdict codes (the ``reasons`` array of
+#: :func:`sanitize_reasons`).  ``KEEP`` is zero so a kept row is falsy.
+KEEP = 0
+DROP_PREFIX_LENGTH = 1
+DROP_LOOP = 2
+
+_REASON_NAMES = {
+    KEEP: None,
+    DROP_PREFIX_LENGTH: REASON_PREFIX_LENGTH,
+    DROP_LOOP: REASON_LOOP,
+}
+
+#: Visibility classes in the per-day class arrays (matching the
+#: activity engine: 2 = observed, 1 = single-peer).
+_OBSERVED = 2
+_SINGLE = 1
+
+
+def reason_names(reasons: np.ndarray) -> List[Optional[str]]:
+    """Per-row drop-reason strings (``None`` = kept), for test oracles."""
+    return [_REASON_NAMES[int(code)] for code in reasons]
+
+
+def _sorted_unique(a: np.ndarray) -> np.ndarray:
+    """Sorted distinct values via an explicit sort.
+
+    Equivalent to :func:`np.unique` on integer keys, but always takes
+    the sort path — the hash-based fast path of recent numpy is an
+    order of magnitude slower on these packed-u64 key arrays.
+    """
+    if len(a) == 0:
+        return a
+    a = np.sort(a)
+    keep = np.empty(len(a), dtype=bool)
+    keep[0] = True
+    np.not_equal(a[1:], a[:-1], out=keep[1:])
+    return a[keep]
+
+
+def _csr_gather(
+    indptr: np.ndarray, flat: np.ndarray, ids: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate the CSR rows selected by ``ids``.
+
+    Returns ``(values, lengths)`` where ``values`` is the concatenation
+    of ``flat[indptr[i]:indptr[i+1]]`` for each id, in id order.
+    """
+    starts = indptr[ids]
+    lens = (indptr[ids + 1] - starts).astype(np.int64)
+    total = int(lens.sum())
+    if total == 0:
+        return flat[:0], lens
+    offsets = np.zeros(len(lens), dtype=np.int64)
+    np.cumsum(lens[:-1], out=offsets[1:])
+    idx = np.repeat(starts - offsets, lens) + np.arange(total, dtype=np.int64)
+    return flat[idx], lens
+
+
+def _pack_prefix(prefix: Prefix) -> Tuple[int, int, int, int]:
+    """``(family, addr_hi, addr_lo, plen)`` columns for one prefix."""
+    if prefix.version == 4:
+        return 4, 0, prefix.network, prefix.length
+    return (
+        6,
+        prefix.network >> 64,
+        prefix.network & 0xFFFFFFFFFFFFFFFF,
+        prefix.length,
+    )
+
+
+def _unpack_prefix(family: int, addr_hi: int, addr_lo: int, plen: int) -> Prefix:
+    if family == 4:
+        return Prefix(4, addr_lo, plen)
+    return Prefix(6, (addr_hi << 64) | addr_lo, plen)
+
+
+class RecordSet:
+    """A packed element batch: row array + interned path side tables.
+
+    ``rows`` is a :data:`RECORD_DTYPE` structured array (possibly a
+    read-only memory-mapped view); paths live in two CSR tables over
+    dense path ids — the raw path tuples (``path_indptr``/``path_flat``,
+    for decoding) and the distinct ASNs each path makes visible
+    (``vis_indptr``/``vis_flat``, for visibility counting) — plus a
+    per-path-id loop verdict (``path_loop``).  ``collectors`` maps the
+    ``collector`` column to ``(project, name)`` pairs.
+    """
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        *,
+        path_indptr: np.ndarray,
+        path_flat: np.ndarray,
+        vis_indptr: np.ndarray,
+        vis_flat: np.ndarray,
+        path_loop: np.ndarray,
+        collectors: Sequence[Tuple[str, str]],
+        day_sorted: bool = False,
+        source: Optional[Path] = None,
+        _mmap_obj=None,
+    ) -> None:
+        self.rows = rows
+        self.path_indptr = path_indptr
+        self.path_flat = path_flat
+        self.vis_indptr = vis_indptr
+        self.vis_flat = vis_flat
+        self.path_loop = path_loop
+        self.collectors = [tuple(c) for c in collectors]
+        self.day_sorted = day_sorted
+        #: The container file backing this set, when it has one (mmap
+        #: fan-out needs it; in-memory sets have ``None``).
+        self.source = source
+        # The mmap (or buffer) owning the row memory.  Arrays built on
+        # it are views; keeping the reference here pins the mapping for
+        # the lifetime of the RecordSet (see DESIGN.md §8 on lifetime).
+        self._mmap_obj = _mmap_obj
+
+    # -- basic shape ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.path_indptr) - 1
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes across the row and side-table arrays."""
+        return sum(
+            a.nbytes
+            for a in (
+                self.rows, self.path_indptr, self.path_flat,
+                self.vis_indptr, self.vis_flat, self.path_loop,
+            )
+        )
+
+    # -- decoding (test oracles, interop) ------------------------------
+
+    def path_tuple(self, pid: int) -> Tuple[ASN, ...]:
+        lo, hi = int(self.path_indptr[pid]), int(self.path_indptr[pid + 1])
+        return tuple(int(a) for a in self.path_flat[lo:hi])
+
+    def element_at(self, i: int) -> BgpElement:
+        """Decode one row back to the object representation."""
+        r = self.rows[i]
+        project, collector = self.collectors[int(r["collector"])]
+        pid = int(r["path"])
+        return BgpElement(
+            elem_type=_CODE_TYPES[int(r["elem_type"])],
+            day=int(r["day"]),
+            sequence=int(r["sequence"]),
+            project=project,
+            collector=collector,
+            peer_asn=int(r["peer"]),
+            prefix=_unpack_prefix(
+                int(r["family"]), int(r["addr_hi"]),
+                int(r["addr_lo"]), int(r["plen"]),
+            ),
+            as_path=() if pid < 0 else self.path_tuple(pid),
+        )
+
+    def elements(self) -> Iterator[BgpElement]:
+        """Decode every row, in row order."""
+        for i in range(len(self.rows)):
+            yield self.element_at(i)
+
+    # -- serialization -------------------------------------------------
+
+    def _sections(self) -> List[Tuple[str, np.ndarray]]:
+        return [
+            ("rows", self.rows),
+            ("path_indptr", self.path_indptr),
+            ("path_flat", self.path_flat),
+            ("vis_indptr", self.vis_indptr),
+            ("vis_flat", self.vis_flat),
+            ("path_loop", self.path_loop),
+        ]
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the single-file container format.
+
+        Layout: 8-byte magic, ``<u4`` header length, json header, then
+        each array section padded to a 64-byte boundary.  All sections
+        are little-endian by dtype construction, so the container is
+        byte-identical across platforms.
+        """
+        sections = self._sections()
+        header: Dict[str, object] = {
+            "format": RECORDS_FORMAT,
+            "collectors": [list(c) for c in self.collectors],
+            "day_sorted": bool(self.day_sorted),
+            "n_records": len(self.rows),
+            "n_paths": self.n_paths,
+            "sections": [],
+        }
+        # Two passes: the header length shifts offsets, so reserve a
+        # fixed-point by serializing with final offsets computed after
+        # sizing a draft header.
+        def layout(header_len: int) -> List[int]:
+            offsets = []
+            pos = 8 + 4 + header_len
+            for _, arr in sections:
+                pos = (pos + 63) & ~63
+                offsets.append(pos)
+                pos += arr.nbytes
+            return offsets
+
+        def render(offsets: List[int]) -> bytes:
+            header["sections"] = [
+                {
+                    "name": name,
+                    "dtype": arr.dtype.descr if arr.dtype.names else str(arr.dtype),
+                    "count": len(arr),
+                    "offset": off,
+                }
+                for (name, arr), off in zip(sections, offsets)
+            ]
+            return json.dumps(header, sort_keys=True).encode("utf-8")
+
+        blob = render(layout(0))
+        # growing the header can only grow offsets; re-render until the
+        # header length is stable (second pass suffices in practice)
+        while True:
+            new_blob = render(layout(len(blob)))
+            if len(new_blob) == len(blob):
+                blob = new_blob
+                break
+            blob = new_blob
+
+        offsets = layout(len(blob))
+        total = offsets[-1] + sections[-1][1].nbytes if sections else 12 + len(blob)
+        out = bytearray(total)
+        out[0:8] = _MAGIC
+        out[8:12] = len(blob).to_bytes(4, "little")
+        out[12:12 + len(blob)] = blob
+        for (_, arr), off in zip(sections, offsets):
+            raw = arr.tobytes()
+            out[off:off + len(raw)] = raw
+        return bytes(out)
+
+    def to_file(self, path: Union[str, Path]) -> Path:
+        """Atomically write the container next to ``path`` and rename."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_bytes(self.to_bytes())
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def _from_buffer(
+        cls, buf, *, source: Optional[Path] = None, mmap_obj=None
+    ) -> "RecordSet":
+        if bytes(buf[0:8]) != _MAGIC:
+            raise ValueError("not a bgp-records container (bad magic)")
+        header_len = int.from_bytes(bytes(buf[8:12]), "little")
+        header = json.loads(bytes(buf[12:12 + header_len]).decode("utf-8"))
+        if header.get("format") != RECORDS_FORMAT:
+            raise ValueError(
+                f"unsupported records format {header.get('format')!r}"
+            )
+        arrays: Dict[str, np.ndarray] = {}
+        for sec in header["sections"]:
+            descr = sec["dtype"]
+            dtype = np.dtype(
+                [tuple(f) for f in descr] if isinstance(descr, list) else descr
+            )
+            count = int(sec["count"])
+            off = int(sec["offset"])
+            arrays[sec["name"]] = np.frombuffer(
+                buf, dtype=dtype, count=count, offset=off
+            )
+        return cls(
+            arrays["rows"],
+            path_indptr=arrays["path_indptr"],
+            path_flat=arrays["path_flat"],
+            vis_indptr=arrays["vis_indptr"],
+            vis_flat=arrays["vis_flat"],
+            path_loop=arrays["path_loop"],
+            collectors=[tuple(c) for c in header["collectors"]],
+            day_sorted=bool(header["day_sorted"]),
+            source=source,
+            _mmap_obj=mmap_obj,
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "RecordSet":
+        return cls._from_buffer(blob)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path], *, mmap: bool = True) -> "RecordSet":
+        """Open a container file; ``mmap=True`` maps it zero-copy.
+
+        The mapping is held by the returned :class:`RecordSet` — slices
+        handed to workers must not outlive it (see DESIGN.md §8).
+        """
+        path = Path(path)
+        if not mmap:
+            return cls._from_buffer(path.read_bytes(), source=path)
+        with open(path, "rb") as fh:
+            mm = _mmap.mmap(fh.fileno(), 0, access=_mmap.ACCESS_READ)
+        return cls._from_buffer(memoryview(mm), source=path, mmap_obj=mm)
+
+    # -- views ---------------------------------------------------------
+
+    def peer_visibility(
+        self, reasons: Optional[np.ndarray] = None
+    ) -> Dict[ASN, Set[ASN]]:
+        """Legacy asn → peer-set map (duck-types the visibility shim)."""
+        return records_peer_visibility(self, reasons=reasons)
+
+    def active_asns(self, min_peers: int = 2) -> Set[ASN]:
+        """Duck-types :func:`repro.bgp.visibility.active_asns`."""
+        return records_active_asns(self, min_peers=min_peers)
+
+
+# -- sanitization ------------------------------------------------------------
+
+
+def sanitize_reasons(
+    rs: RecordSet, lo: int = 0, hi: Optional[int] = None
+) -> np.ndarray:
+    """Per-row §3.2 verdicts over ``rows[lo:hi]`` as one mask pass.
+
+    Matches :func:`repro.bgp.sanitize.drop_reason` element for element:
+    the prefix-length bound is attributed first, the loop rule second,
+    and withdrawals (no path) are exempt from the loop check.
+    """
+    rows = rs.rows[lo:hi]
+    plen = rows["plen"]
+    ok_len = np.where(
+        rows["family"] == 4,
+        (plen >= GLOBAL_V4_MIN_LEN) & (plen <= GLOBAL_V4_MAX_LEN),
+        (plen >= GLOBAL_V6_MIN_LEN) & (plen <= GLOBAL_V6_MAX_LEN),
+    )
+    reasons = np.zeros(len(rows), dtype=np.uint8)
+    reasons[~ok_len] = DROP_PREFIX_LENGTH
+    check_loop = ok_len & (rows["elem_type"] != _W_CODE)
+    idx = np.flatnonzero(check_loop)
+    if len(idx):
+        looped = rs.path_loop[rows["path"][idx]].astype(bool)
+        reasons[idx[looped]] = DROP_LOOP
+    return reasons
+
+
+def sanitize_stats(reasons: np.ndarray) -> SanitizeStats:
+    """Fold a verdict array into the classic :class:`SanitizeStats`."""
+    counts = np.bincount(reasons, minlength=3)
+    stats = SanitizeStats(kept=int(counts[KEEP]))
+    if counts[DROP_PREFIX_LENGTH]:
+        stats.dropped[REASON_PREFIX_LENGTH] = int(counts[DROP_PREFIX_LENGTH])
+    if counts[DROP_LOOP]:
+        stats.dropped[REASON_LOOP] = int(counts[DROP_LOOP])
+    return stats
+
+
+# -- visibility --------------------------------------------------------------
+
+
+def records_peer_visibility(
+    rs: RecordSet,
+    *,
+    reasons: Optional[np.ndarray] = None,
+) -> Dict[ASN, Set[ASN]]:
+    """asn → distinct-peer set over the whole batch (day-agnostic).
+
+    ``reasons=None`` counts every non-withdrawal row, mirroring
+    :func:`repro.bgp.visibility.peer_visibility` over the raw element
+    list; pass a verdict array to count only sanitized rows.
+
+    Duplicate ``(path, peer)`` rows collapse *before* the CSR
+    expansion to path ASNs — element streams repeat the same few pairs
+    day after day, so the expansion runs over the handful of distinct
+    pairs instead of every element occurrence.
+    """
+    rows = rs.rows
+    if reasons is None:
+        use = rows["elem_type"] != _W_CODE
+    else:
+        use = (reasons == KEEP) & (rows["elem_type"] != _W_CODE)
+    pids = rows["path"][use].astype(np.int64)
+    peers = rows["peer"][use]
+    if len(pids) == 0:
+        return {}
+    upeers, peer_idx = np.unique(peers, return_inverse=True)
+    n_peers = len(upeers)
+    u_pair = _sorted_unique(pids * n_peers + peer_idx)
+    u_pid, u_pi = np.divmod(u_pair, n_peers)
+    asns, lens = _csr_gather(rs.vis_indptr, rs.vis_flat, u_pid)
+    e_pi = np.repeat(u_pi, lens)
+    # peer indices fit 32 bits by construction, so (asn, peer) packs u64
+    akey = _sorted_unique(
+        (asns.astype(np.uint64) << np.uint64(32)) | e_pi.astype(np.uint64)
+    )
+    out: Dict[ASN, Set[ASN]] = {}
+    peer_list = upeers.tolist()
+    for key in akey.tolist():
+        out.setdefault(key >> 32, set()).add(int(peer_list[key & 0xFFFFFFFF]))
+    return out
+
+
+def records_active_asns(rs: RecordSet, *, min_peers: int = 2) -> Set[ASN]:
+    """Day-agnostic active set under the visibility threshold."""
+    if min_peers < 1:
+        raise ValueError("min_peers must be at least 1")
+    return {
+        asn
+        for asn, peers in records_peer_visibility(rs).items()
+        if len(peers) >= min_peers
+    }
+
+
+def day_class_arrays(
+    rs: RecordSet,
+    *,
+    min_corroboration: int = 2,
+    lo: int = 0,
+    hi: Optional[int] = None,
+    reasons: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-day visibility classes of ``rows[lo:hi]`` as flat arrays.
+
+    Returns ``(asns, days, classes)`` where each entry is one
+    (ASN, day) bucket: class 2 when the ASN was shared by at least
+    ``min_corroboration`` distinct peers that day, class 1 when by
+    exactly one (and that misses the threshold).  Entries are ordered
+    by ASN, then day — a fixed order, so per-chunk outputs depend only
+    on the chunk's rows and concatenating them in chunk order keeps
+    ``process:N`` byte-identical to serial.
+
+    The counting collapses duplicate ``(day, path, peer)`` rows before
+    the CSR expansion to path ASNs (element streams repeat the same
+    pairs day after day), then dedupes ``(asn, day, peer)`` triples
+    with one packed-u64 sort and reads distinct-peer counts off the
+    run lengths.
+    """
+    if min_corroboration < 1:
+        raise ValueError("min_corroboration must be at least 1")
+    rows = rs.rows[lo:hi]
+    if reasons is None:
+        reasons = sanitize_reasons(rs, lo, hi)
+    use = (reasons == KEEP) & (rows["elem_type"] != _W_CODE)
+    days = rows["day"][use].astype(np.int64)
+    pids = rows["path"][use].astype(np.int64)
+    peers = rows["peer"][use]
+
+    def empty_result():
+        return (
+            np.empty(0, dtype=np.uint32),
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=np.uint8),
+        )
+
+    if len(days) == 0:
+        return empty_result()
+    day0 = int(days.min())
+    day_idx = days - day0
+    day_span = int(day_idx.max()) + 1
+    upeers, peer_idx = np.unique(peers, return_inverse=True)
+    n_peers = len(upeers)
+    # the vis CSR is what pids index (chunk payloads ship only it)
+    n_paths = len(rs.vis_indptr) - 1
+    # row-level dedupe: one u64 key per (day, path, peer) occurrence
+    if day_span * n_paths * n_peers >= 2**63:  # pragma: no cover
+        raise OverflowError("record window too large for packed day keys")
+    u_row = _sorted_unique((day_idx * n_paths + pids) * n_peers + peer_idx)
+    u_day, rem = np.divmod(u_row, n_paths * n_peers)
+    u_pid, u_pi = np.divmod(rem, n_peers)
+    # expand the distinct rows to their paths' distinct ASNs, then
+    # dedupe (asn, day, peer) triples: high 32 bits ASN, low 32 bits
+    # (day, peer) — sorted output groups by ASN, then day, then peer
+    if day_span * n_peers >= 2**32:  # pragma: no cover
+        raise OverflowError("day x peer space too large for packed keys")
+    asns, lens = _csr_gather(rs.vis_indptr, rs.vis_flat, u_pid)
+    if len(asns) == 0:
+        return empty_result()
+    e_low = np.repeat(u_day * n_peers + u_pi, lens)
+    tkey = _sorted_unique(
+        (asns.astype(np.uint64) << np.uint64(32)) | e_low.astype(np.uint64)
+    )
+    t_asn = (tkey >> np.uint64(32)).astype(np.uint32)
+    t_day = ((tkey & np.uint64(0xFFFFFFFF)).astype(np.int64)) // n_peers
+    # distinct-peer counts per (asn, day) are the run lengths of the
+    # sorted (asn, day) pairs (triples are unique, so each run entry is
+    # one distinct peer)
+    gkey = (t_asn.astype(np.uint64) << np.uint64(32)) | t_day.astype(np.uint64)
+    starts = np.flatnonzero(np.concatenate(([True], gkey[1:] != gkey[:-1])))
+    counts = np.diff(np.append(starts, len(gkey)))
+    observed = counts >= min_corroboration
+    single = (counts == 1) & ~observed
+    keep = observed | single
+    out_asns = t_asn[starts][keep]
+    out_days = (t_day[starts][keep] + day0).astype(np.int32)
+    out_cls = np.where(observed[keep], _OBSERVED, _SINGLE).astype(np.uint8)
+    return out_asns, out_days, out_cls
+
+
+# -- encoding ----------------------------------------------------------------
+
+
+class RecordEncoder:
+    """Vectorized element materialization from announcements.
+
+    Replicates ``SyntheticBgpStream._emit`` / ``_emit_withdraw``
+    exactly, but computes each announcement's per-peer element fan-out
+    once as a row *template* (day/sequence/elem_type left blank) and
+    assembles whole windows with one vectorized gather over the
+    template pool — the byte-level analogue of the columnar engine's
+    :class:`~repro.bgp.activity.Contribution` interning, kept
+    pre-sanitization so the packed rows still carry every element the
+    object stream would have yielded.
+    """
+
+    def __init__(
+        self,
+        topology: AsTopology,
+        collectors: Sequence[Collector],
+        table: Optional[PathTable] = None,
+    ) -> None:
+        self._collectors = list(collectors)
+        self._oracle = PathOracle(topology, all_peer_asns(collectors), table=table)
+        self._templates: Dict[Announcement, int] = {}
+        self._withdraw_templates: Dict[Announcement, int] = {}
+        self._pool: List[np.ndarray] = []
+
+    @property
+    def table(self) -> PathTable:
+        return self._oracle.table
+
+    def __len__(self) -> int:
+        """Unique (announcement, kind) templates interned so far."""
+        return len(self._templates) + len(self._withdraw_templates)
+
+    def _add_template(self, rows: List[Tuple[int, int, int]], ann: Announcement):
+        """Pack (collector idx, peer, path id) rows plus the prefix."""
+        arr = np.zeros(len(rows), dtype=RECORD_DTYPE)
+        family, addr_hi, addr_lo, plen = _pack_prefix(ann.prefix)
+        arr["family"] = family
+        arr["addr_hi"] = addr_hi
+        arr["addr_lo"] = addr_lo
+        arr["plen"] = plen
+        table = self._oracle.table
+        for i, (ci, peer, pid) in enumerate(rows):
+            arr[i]["collector"] = ci
+            arr[i]["peer"] = peer
+            arr[i]["path"] = pid
+            arr[i]["origin"] = table.paths[pid][-1] if pid >= 0 else 0
+        self._pool.append(arr)
+        return len(self._pool) - 1
+
+    def _template_id(self, ann: Announcement) -> int:
+        tid = self._templates.get(ann)
+        if tid is None:
+            table = self._oracle.table
+            raw = self._oracle.path_ids_for(ann.announcer)
+            plain = (
+                ann.forged_origin is None
+                and not ann.prepend
+                and not ann.corrupt_loop
+            )
+            rows: List[Tuple[int, int, int]] = []
+            for ci, collector in enumerate(self._collectors):
+                for peer in collector.peer_asns:
+                    if ann.only_peer is not None and peer != ann.only_peer:
+                        continue
+                    pid = raw.get(peer)
+                    if pid is None:
+                        if ann.only_peer is not None and peer == ann.only_peer:
+                            # spurious data: the peer leaks a path
+                            # nobody else can corroborate
+                            pid = table.intern((peer, ann.announcer))
+                        else:
+                            continue
+                    if not plain:
+                        pid = table.intern(decorate_path(table.paths[pid], ann))
+                    rows.append((ci, peer, pid))
+            tid = self._add_template(rows, ann)
+            self._templates[ann] = tid
+        return tid
+
+    def _withdraw_template_id(self, ann: Announcement) -> int:
+        tid = self._withdraw_templates.get(ann)
+        if tid is None:
+            paths = self._oracle.paths_for(ann.announcer)
+            rows: List[Tuple[int, int, int]] = []
+            for ci, collector in enumerate(self._collectors):
+                for peer in collector.peer_asns:
+                    if ann.only_peer is not None and peer != ann.only_peer:
+                        continue
+                    if peer not in paths and ann.only_peer is None:
+                        continue
+                    rows.append((ci, peer, -1))
+            tid = self._add_template(rows, ann)
+            self._withdraw_templates[ann] = tid
+        return tid
+
+    def _assemble(
+        self, emissions: List[Tuple[int, Day, int, int]]
+    ) -> np.ndarray:
+        """One gather: emissions ``(tid, day, seq, etype)`` → row array."""
+        if not emissions:
+            return np.empty(0, dtype=RECORD_DTYPE)
+        pool = (
+            np.concatenate(self._pool)
+            if self._pool
+            else np.empty(0, dtype=RECORD_DTYPE)
+        )
+        indptr = np.zeros(len(self._pool) + 1, dtype=np.int64)
+        np.cumsum([len(t) for t in self._pool], out=indptr[1:])
+        em = np.asarray(emissions, dtype=np.int64)
+        idx, lens = _csr_gather(indptr, np.arange(len(pool), dtype=np.int64), em[:, 0])
+        rows = pool[idx]
+        rows["day"] = np.repeat(em[:, 1], lens)
+        rows["sequence"] = np.repeat(em[:, 2], lens)
+        rows["elem_type"] = np.repeat(em[:, 3], lens)
+        return rows
+
+    def _finish(self, rows: np.ndarray) -> RecordSet:
+        table = self._oracle.table
+        cols = table.column_arrays()
+        return RecordSet(
+            rows,
+            path_indptr=cols["path_indptr"],
+            path_flat=cols["path_flat"],
+            vis_indptr=cols["vis_indptr"],
+            vis_flat=cols["vis_flat"],
+            path_loop=cols["has_loop"],
+            collectors=[(c.project, c.name) for c in self._collectors],
+            day_sorted=True,
+        )
+
+    def encode_window(
+        self,
+        day_source: Callable[[Day], Sequence[Announcement]],
+        start: Day,
+        end: Day,
+        *,
+        updates: bool = False,
+    ) -> RecordSet:
+        """Pack the window's element stream into one record set.
+
+        ``updates=False`` emits each day's RIB pass only (what the
+        activity pipeline consumes: announce updates duplicate RIB
+        pairs and withdrawals carry no path).  ``updates=True`` also
+        emits the inter-day announce/withdraw diffs, byte-identical to
+        ``SyntheticBgpStream.elements(start, end)``.
+        """
+        if end < start:
+            raise ValueError("end day precedes start day")
+        emissions: List[Tuple[int, Day, int, int]] = []
+        previous: Optional[List[Announcement]] = None
+        for day in range(start, end + 1):
+            current = list(day_source(day))
+            seq = 0
+            for ann in current:
+                emissions.append((self._template_id(ann), day, seq, _TYPE_CODES[RIB]))
+                seq += 1
+            if updates and previous is not None:
+                prev_keys = {a.key(): a for a in previous}
+                cur_keys = {a.key() for a in current}
+                for ann in current:
+                    if ann.key() not in prev_keys:
+                        emissions.append(
+                            (self._template_id(ann), day, seq, _TYPE_CODES[ANNOUNCE])
+                        )
+                        seq += 1
+                for key, ann in prev_keys.items():
+                    if key not in cur_keys:
+                        emissions.append(
+                            (
+                                self._withdraw_template_id(ann),
+                                day, seq, _TYPE_CODES[WITHDRAW],
+                            )
+                        )
+                        seq += 1
+            previous = current
+        return self._finish(self._assemble(emissions))
+
+
+def encode_world_records(
+    world,
+    start: Day,
+    end: Day,
+    *,
+    updates: bool = False,
+) -> RecordSet:
+    """Pack a simulated world's message-level window (see the encoder)."""
+    encoder = RecordEncoder(world.topology, world.collectors)
+    return encoder.encode_window(
+        world.announcements_for_day, start, end, updates=updates
+    )
+
+
+def records_from_elements(elements: Iterable[BgpElement]) -> RecordSet:
+    """Pack an arbitrary element iterable (row order preserved).
+
+    The generic adapter for already-materialized element lists —
+    property tests and MRT-style consumers.  Paths are interned into a
+    fresh :class:`~repro.bgp.stream.PathTable`; the collector table is
+    built in first-appearance order.
+    """
+    elements = list(elements)
+    table = PathTable()
+    collectors: Dict[Tuple[str, str], int] = {}
+    rows = np.zeros(len(elements), dtype=RECORD_DTYPE)
+    day_sorted = True
+    prev_day: Optional[int] = None
+    for i, element in enumerate(elements):
+        ckey = (element.project, element.collector)
+        ci = collectors.get(ckey)
+        if ci is None:
+            ci = len(collectors)
+            collectors[ckey] = ci
+        family, addr_hi, addr_lo, plen = _pack_prefix(element.prefix)
+        row = rows[i]
+        row["day"] = element.day
+        row["sequence"] = element.sequence
+        row["peer"] = element.peer_asn
+        row["collector"] = ci
+        row["elem_type"] = _TYPE_CODES[element.elem_type]
+        row["family"] = family
+        row["addr_hi"] = addr_hi
+        row["addr_lo"] = addr_lo
+        row["plen"] = plen
+        if element.as_path:
+            pid = table.intern(element.as_path)
+            row["path"] = pid
+            row["origin"] = element.as_path[-1]
+        else:
+            row["path"] = -1
+            row["origin"] = 0
+        if prev_day is not None and element.day < prev_day:
+            day_sorted = False
+        prev_day = element.day
+    cols = table.column_arrays()
+    return RecordSet(
+        rows,
+        path_indptr=cols["path_indptr"],
+        path_flat=cols["path_flat"],
+        vis_indptr=cols["vis_indptr"],
+        vis_flat=cols["vis_flat"],
+        path_loop=cols["has_loop"],
+        collectors=list(collectors),
+        day_sorted=day_sorted,
+    )
+
+
+# -- chunked fan-out ---------------------------------------------------------
+
+
+def day_slices(
+    rs: RecordSet, day_chunk: int
+) -> List[Tuple[int, int]]:
+    """Row ranges covering fixed ``day_chunk`` day windows.
+
+    Boundaries are derived from the window's day range and the chunk
+    size — never from the worker count — so serial and ``process:N``
+    runs split identically (the determinism contract).  Requires a
+    day-sorted set (every encoder output is).
+    """
+    if day_chunk < 1:
+        raise ValueError("day_chunk must be >= 1")
+    if not rs.day_sorted:
+        raise ValueError("day_slices needs a day-sorted record set")
+    n = len(rs.rows)
+    if n == 0:
+        return []
+    days = rs.rows["day"]
+    first, last = int(days[0]), int(days[-1])
+    starts = list(range(first, last + 1, day_chunk))
+    cut_days = np.asarray([s + day_chunk for s in starts], dtype=days.dtype)
+    cuts = np.searchsorted(days, cut_days, side="left")
+    out: List[Tuple[int, int]] = []
+    lo = 0
+    for hi in cuts.tolist():
+        if hi > lo:
+            out.append((lo, hi))
+        lo = hi
+    return out
+
+
+def _records_chunk_task(payload):
+    """Classify one row slice (module-level, picklable, pure).
+
+    Two payload shapes: ``("mmap", path, lo, hi, min_corr)`` re-opens
+    the container file once per worker process and reads the slice
+    zero-copy; ``("arrays", rows, vis_indptr, vis_flat, path_loop,
+    min_corr)`` carries the pickled slice itself (the pre-mmap
+    baseline, kept for the scaling benchmark's comparison row).
+    Returns the slice's ``(asns, days, classes)`` arrays plus its
+    :class:`SanitizeStats` for the chunk-merge accounting.
+    """
+    mode = payload[0]
+    if mode == "mmap":
+        _, path, lo, hi, min_corr = payload
+        rs = per_process(("bgp-records", str(path)), lambda: RecordSet.from_file(path))
+        reasons = sanitize_reasons(rs, lo, hi)
+        asns, days, classes = day_class_arrays(
+            rs, min_corroboration=min_corr, lo=lo, hi=hi, reasons=reasons
+        )
+    else:
+        _, rows, vis_indptr, vis_flat, path_loop, min_corr = payload
+        rs = RecordSet(
+            rows,
+            path_indptr=np.zeros(1, dtype=np.int64),
+            path_flat=np.empty(0, dtype=np.uint32),
+            vis_indptr=vis_indptr,
+            vis_flat=vis_flat,
+            path_loop=path_loop,
+            collectors=[],
+            day_sorted=True,
+        )
+        reasons = sanitize_reasons(rs)
+        asns, days, classes = day_class_arrays(
+            rs, min_corroboration=min_corr, reasons=reasons
+        )
+    return asns, days, classes, sanitize_stats(reasons)
+
+
+@dataclass
+class RecordsRun:
+    """What one records-engine visibility pass produced."""
+
+    asns: np.ndarray
+    days: np.ndarray
+    classes: np.ndarray
+    #: Chunk-merged sanitize accounting (equals the single-pass stats;
+    #: the property tests pin the merge).
+    stats: SanitizeStats = field(default_factory=SanitizeStats)
+    chunks: int = 0
+    fanout: str = "inline"
+
+
+def records_day_classes(
+    rs: RecordSet,
+    *,
+    min_corroboration: int = 2,
+    executor: ExecutorSpec = None,
+    day_chunk: int = RECORDS_DAY_CHUNK,
+    fanout: str = "auto",
+) -> RecordsRun:
+    """Classify the whole set per day, fanned out over day chunks.
+
+    ``fanout`` picks the worker payload: ``"mmap"`` ships ``(path, lo,
+    hi)`` slices of the backing file (requires one — see
+    :attr:`RecordSet.source`); ``"pickle"`` ships the row arrays
+    themselves; ``"auto"`` uses mmap when a backing file exists and the
+    executor is parallel, pickle otherwise.  All modes (and serial
+    inline execution) produce byte-identical output because chunk
+    boundaries and per-chunk results are executor-independent.
+    """
+    if fanout not in ("auto", "mmap", "pickle"):
+        raise ValueError(f"unknown fan-out mode {fanout!r}")
+    spec = executor
+    executor = resolve_executor(spec)
+    parallel = executor.jobs > 1
+    if fanout == "mmap" and rs.source is None:
+        raise ValueError("mmap fan-out needs a file-backed record set")
+    use_mmap = fanout == "mmap" or (
+        fanout == "auto" and parallel and rs.source is not None
+    )
+    slices = day_slices(rs, day_chunk)
+    if use_mmap:
+        payloads = [
+            ("mmap", rs.source, lo, hi, min_corroboration) for lo, hi in slices
+        ]
+    else:
+        payloads = [
+            (
+                "arrays",
+                np.asarray(rs.rows[lo:hi]),
+                rs.vis_indptr,
+                rs.vis_flat,
+                rs.path_loop,
+                min_corroboration,
+            )
+            for lo, hi in slices
+        ]
+    try:
+        results = executor.map(_records_chunk_task, payloads)
+    finally:
+        if executor is not spec:
+            executor.close()
+    stats = SanitizeStats()
+    for _, _, _, chunk_stats in results:
+        stats.merge(chunk_stats)
+    if results:
+        asns = np.concatenate([r[0] for r in results])
+        days = np.concatenate([r[1] for r in results])
+        classes = np.concatenate([r[2] for r in results])
+    else:
+        asns = np.empty(0, dtype=np.uint32)
+        days = np.empty(0, dtype=np.int32)
+        classes = np.empty(0, dtype=np.uint8)
+    return RecordsRun(
+        asns=asns,
+        days=days,
+        classes=classes,
+        stats=stats,
+        chunks=len(slices),
+        fanout="mmap" if use_mmap else ("pickle" if parallel else "inline"),
+    )
+
+
+def ensure_backing_file(rs: RecordSet, path: Optional[Path] = None) -> Path:
+    """Give an in-memory set a container file (for mmap fan-out).
+
+    Writes to ``path`` when given, else a temp file; updates
+    :attr:`RecordSet.source` and returns the path.  Callers own the
+    file's lifetime (the cache-backed pipeline path never needs this —
+    its artifact file doubles as the backing file).
+    """
+    if rs.source is not None:
+        return rs.source
+    if path is None:
+        fd, name = tempfile.mkstemp(suffix=".bgprec")
+        os.close(fd)
+        path = Path(name)
+    rs.to_file(path)
+    rs.source = path
+    return path

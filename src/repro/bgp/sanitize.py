@@ -8,8 +8,9 @@ reason so pipelines can report exactly what was removed.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional
 
 from .messages import WITHDRAW, BgpElement
 
@@ -27,13 +28,30 @@ REASON_LOOP = "as_path_loop"
 
 @dataclass
 class SanitizeStats:
-    """Counters filled in by :func:`sanitize`."""
+    """Counters filled in by :func:`sanitize`.
+
+    ``dropped`` is a :class:`collections.Counter` keyed by drop reason
+    (still a plain ``Dict[str, int]`` to every consumer), so chunked
+    fan-outs can :meth:`merge` per-chunk stats without reimplementing
+    the accumulation.
+    """
 
     kept: int = 0
-    dropped: Dict[str, int] = field(default_factory=dict)
+    dropped: Counter = field(default_factory=Counter)
 
     def drop(self, reason: str) -> None:
-        self.dropped[reason] = self.dropped.get(reason, 0) + 1
+        self.dropped[reason] += 1
+
+    def merge(self, other: "SanitizeStats") -> "SanitizeStats":
+        """Fold another stats object into this one (chunk merge).
+
+        Associative and order-insensitive, so merging per-chunk stats
+        in any order equals the single-pass counts — the property test
+        pins this for the records fan-out.
+        """
+        self.kept += other.kept
+        self.dropped.update(other.dropped)
+        return self
 
     @property
     def total_dropped(self) -> int:

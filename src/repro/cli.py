@@ -36,10 +36,13 @@ worker-pool failures, ``--on-worker-failure {raise,serial}`` picks
 between failing fast and degrading to serial execution with identical
 output, and ``--profile`` prints per-stage wall times plus any runtime
 degradation events.
-``--bgp-engine columnar|object`` rebuilds operational lifetimes from the
-message-level BGP stream over the last ``--bgp-window`` days (the
-columnar engine and the per-element baseline produce byte-identical
-datasets; cached activity tables make repeat runs skip the stream).
+``--bgp-engine columnar|records|object`` rebuilds operational lifetimes
+from the message-level BGP stream over the last ``--bgp-window`` days
+(all engines produce byte-identical datasets; cached activity tables
+make repeat runs skip the stream).  The ``records`` engine packs the
+window into the ``bgp-records/v1`` columnar container — cached as a raw
+artifact and re-opened via mmap on later runs; ``--bgp-records PATH``
+pins the container to an explicit file.
 
 Observability flags on ``simulate`` (see DESIGN.md §7): ``--trace``
 writes the run's nested span trace as JSON lines, ``--metrics-out``
@@ -151,19 +154,27 @@ def build_parser() -> argparse.ArgumentParser:
                           "diff' can address it by digest prefix (default "
                           "when --manifest is written: OUT/runs.jsonl)")
     simulate.add_argument("--bgp-engine",
-                          choices=("interval", "columnar", "object"),
+                          choices=("interval", "columnar", "records", "object"),
                           default="interval",
                           help="how operational activity is derived: "
                           "'interval' reads the simulation's activity "
                           "intervals directly (default, full window); "
-                          "'columnar' and 'object' rebuild it from the "
-                          "message-level BGP stream over the last "
+                          "'columnar', 'records' and 'object' rebuild it "
+                          "from the message-level BGP stream over the last "
                           "--bgp-window days (columnar = incremental "
-                          "engine, object = per-element baseline; both "
-                          "yield byte-identical lifetimes)")
+                          "engine, records = packed-array vectorized "
+                          "engine with mmap re-open, object = per-element "
+                          "baseline; all yield byte-identical lifetimes)")
     simulate.add_argument("--bgp-window", type=int, default=365,
                           help="days of message-level BGP to rebuild when "
-                          "--bgp-engine is columnar/object (default 365)")
+                          "--bgp-engine is columnar/records/object "
+                          "(default 365)")
+    simulate.add_argument("--bgp-records", type=Path, default=None,
+                          metavar="PATH",
+                          help="container file for the packed bgp-records/v1 "
+                          "element encoding (records engine only): created "
+                          "on first run, memory-mapped zero-copy on every "
+                          "later run instead of re-materializing the stream")
 
     analyze = sub.add_parser("analyze", help="joint analysis over exported datasets")
     analyze.add_argument("admin", type=Path, help="administrative dataset JSON")
@@ -304,7 +315,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 bundle.world, start=start, end=end, timeout=args.timeout,
                 engine=args.bgp_engine, executor=executor,
                 cache=args.cache_dir, cache_verify=args.cache_verify,
-                stats=stats,
+                stats=stats, records_path=args.bgp_records,
             )
             joint = JointAnalysis(
                 admin_lives=bundle.admin_lives,
@@ -348,6 +359,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             settings={
                 "bgp_engine": args.bgp_engine,
                 "bgp_window": args.bgp_window,
+                "bgp_records": (
+                    str(args.bgp_records) if args.bgp_records else None
+                ),
                 "timeout": args.timeout,
                 "jobs": args.jobs,
                 "inject_pitfalls": not args.no_pitfalls,

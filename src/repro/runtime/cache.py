@@ -51,6 +51,7 @@ from .observability import MetricsRegistry, resolve_metrics
 __all__ = [
     "PIPELINE_VERSION",
     "ACTIVITY_TABLE_VERSION",
+    "BGP_RECORDS_VERSION",
     "MANIFEST_FORMAT",
     "USE_ENV_FAULTS",
     "CacheError",
@@ -76,6 +77,14 @@ PIPELINE_VERSION = "2026.08-1"
 #: for the other — the scaling benchmark's determinism check relies on
 #: exactly this property.
 ACTIVITY_TABLE_VERSION = "activity-table/v1"
+
+#: Version tag of the packed BGP records artifact (the zero-copy
+#: columnar element encoding of :mod:`repro.bgp.records`).  Part of
+#: every records cache key — it doubles as the container's format tag,
+#: so a format change both invalidates the key and is rejected by the
+#: container parser.  Stored as a *raw* cache entry (``.raw``), not a
+#: pickle: the artifact file on disk IS the mmap-able container.
+BGP_RECORDS_VERSION = "bgp-records/v1"
 
 #: Format tag of the per-entry sidecar manifest.
 MANIFEST_FORMAT = "artifact-manifest/v1"
@@ -225,6 +234,14 @@ class ArtifactCache:
     def manifest_path_for(self, key: str) -> Path:
         return self.root / f"{key}.manifest.json"
 
+    def raw_path_for(self, key: str) -> Path:
+        """Payload path of a *raw* entry (bytes stored as-is, no pickle
+        envelope) — e.g. the mmap-able packed BGP records container."""
+        return self.root / f"{key}.raw"
+
+    def raw_manifest_path_for(self, key: str) -> Path:
+        return self.root / f"{key}.raw.manifest.json"
+
     @property
     def quarantine_dir(self) -> Path:
         return self.root / "quarantine"
@@ -244,9 +261,9 @@ class ArtifactCache:
         except OSError:
             return None
 
-    def _read_manifest(self, key: str) -> Optional[Dict[str, Any]]:
+    def _read_manifest(self, manifest_path: Path) -> Optional[Dict[str, Any]]:
         try:
-            manifest = json.loads(self.manifest_path_for(key).read_text())
+            manifest = json.loads(manifest_path.read_text())
         except (OSError, ValueError):
             return None
         return manifest if isinstance(manifest, dict) else None
@@ -298,15 +315,23 @@ class ArtifactCache:
             f"cache: quarantined corrupt entry {path.name} -> {qpath.name}"
         )
 
-    def _verified_payload(self, key: str, path: Path, blob: bytes) -> Optional[bytes]:
+    def _verified_payload(
+        self,
+        key: str,
+        path: Path,
+        blob: bytes,
+        manifest_path: Optional[Path] = None,
+    ) -> Optional[bytes]:
         """The payload bytes iff they match the sidecar manifest."""
-        if self._manifest_matches(self._read_manifest(key), blob):
+        if manifest_path is None:
+            manifest_path = self.manifest_path_for(key)
+        if self._manifest_matches(self._read_manifest(manifest_path), blob):
             return blob
         # One fresh re-read closes the benign race where a concurrent
         # store's two renames (manifest, then payload) were observed
         # halfway through; after both land, fresh reads are consistent.
         fresh = self._read_payload(path)
-        manifest = self._read_manifest(key)
+        manifest = self._read_manifest(manifest_path)
         if fresh is not None and self._manifest_matches(manifest, fresh):
             return fresh
         if manifest is None:
@@ -396,9 +421,49 @@ class ArtifactCache:
             raise CacheStoreError(
                 f"artifact for {key} is not picklable: {exc}"
             ) from exc
+        return self._publish(
+            key,
+            blob,
+            path=self.path_for(key),
+            manifest_path=self.manifest_path_for(key),
+            kind="pickle",
+            strict=strict,
+        )
+
+    def store_raw(
+        self, key: str, blob: bytes, *, strict: Optional[bool] = None
+    ) -> Optional[Path]:
+        """Atomically persist raw bytes (no pickle envelope).
+
+        The payload lands at :meth:`raw_path_for` byte-for-byte, so the
+        entry can be re-opened zero-copy (``mmap``) by later runs —
+        this is how the packed BGP records container is cached.  Same
+        manifest/verify/quarantine guarantees as :meth:`store`.
+        """
+        strict = self.strict_store if strict is None else strict
+        return self._publish(
+            key,
+            bytes(blob),
+            path=self.raw_path_for(key),
+            manifest_path=self.raw_manifest_path_for(key),
+            kind="raw",
+            strict=strict,
+        )
+
+    def _publish(
+        self,
+        key: str,
+        blob: bytes,
+        *,
+        path: Path,
+        manifest_path: Path,
+        kind: str,
+        strict: bool,
+    ) -> Optional[Path]:
         manifest_blob = json.dumps(
             {
                 "format": MANIFEST_FORMAT,
+                "kind": kind,
                 "sha256": hashlib.sha256(blob).hexdigest(),
                 "length": len(blob),
                 "pipeline_version": PIPELINE_VERSION,
@@ -406,10 +471,9 @@ class ArtifactCache:
             sort_keys=True,
         ).encode("utf-8")
 
-        path = self.path_for(key)
         uniq = f"tmp.{os.getpid()}.{next(_UNIQUE)}"
-        tmp_payload = self.root / f"{key}.pkl.{uniq}"
-        tmp_manifest = self.root / f"{key}.manifest.json.{uniq}"
+        tmp_payload = self.root / f"{path.name}.{uniq}"
+        tmp_manifest = self.root / f"{manifest_path.name}.{uniq}"
         try:
             try:
                 self.root.mkdir(parents=True, exist_ok=True)
@@ -427,8 +491,8 @@ class ArtifactCache:
                 # manifest is already beside it (the reverse order
                 # would widen the mismatch window for verified readers)
                 if self.faults is not None:
-                    self.faults.on_replace(tmp_manifest, self.manifest_path_for(key))
-                os.replace(tmp_manifest, self.manifest_path_for(key))
+                    self.faults.on_replace(tmp_manifest, manifest_path)
+                os.replace(tmp_manifest, manifest_path)
                 if self.faults is not None:
                     self.faults.on_replace(tmp_payload, path)
                 os.replace(tmp_payload, path)
@@ -448,6 +512,32 @@ class ArtifactCache:
                     f"could not store artifact {key}: {exc}"
                 ) from exc
             return None
+        return path
+
+    def load_raw_path(self, key: str) -> Optional[Path]:
+        """Path of a verified raw entry, or ``None`` on a miss.
+
+        Reads the payload once for sha256 verification (when enabled),
+        then hands back the *path* rather than the bytes so the caller
+        can mmap the entry zero-copy.  Corrupt entries are quarantined
+        exactly like pickled ones.
+        """
+        path = self.raw_path_for(key)
+        blob = self._read_payload(path)
+        if blob is None:
+            self.misses += 1
+            self._inc("cache.misses")
+            return None
+        if self.verify == "sha256":
+            blob = self._verified_payload(
+                key, path, blob, manifest_path=self.raw_manifest_path_for(key)
+            )
+            if blob is None:
+                self.misses += 1
+                self._inc("cache.misses")
+                return None
+        self.hits += 1
+        self._inc("cache.hits")
         return path
 
     def get_or_build(self, key: str, builder) -> Any:

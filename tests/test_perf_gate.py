@@ -1,0 +1,122 @@
+"""Tests for the perf-regression gate's baseline handling.
+
+The gate script lives outside the package (``benchmarks/``), so it is
+loaded here via an explicit file-location import.  These tests focus
+on the ``renamed`` stage-mapping table: a deliberate stage rename must
+keep gating against the historic timing instead of tripping the
+stage-set symmetric-difference refusal.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GATE_PATH = Path(__file__).parent.parent / "benchmarks" / "check_perf_gate.py"
+_spec = importlib.util.spec_from_file_location("check_perf_gate", _GATE_PATH)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _write_snapshot(path: Path, stages: dict, *, incomplete: bool = False) -> None:
+    doc = {
+        "histograms": {
+            f"stage.{name}.seconds": {"sum": seconds, "count": 1}
+            for name, seconds in stages.items()
+        },
+        "session": {"incomplete": incomplete, "exitstatus": 1 if incomplete else 0},
+    }
+    path.write_text(json.dumps(doc))
+
+
+def _write_baseline(path: Path, stages: dict, *, renamed: dict | None = None) -> None:
+    doc = {
+        "format": gate.BASELINE_FORMAT,
+        "stages": stages,
+        "total_seconds": sum(stages.values()),
+    }
+    if renamed is not None:
+        doc["renamed"] = renamed
+    path.write_text(json.dumps(doc))
+
+
+def _run(tmp_path: Path, snapshot: dict, baseline: dict,
+         renamed: dict | None = None, extra_args: list | None = None) -> int:
+    snap = tmp_path / "snapshot.json"
+    base = tmp_path / "baseline.json"
+    _write_snapshot(snap, snapshot)
+    _write_baseline(base, baseline, renamed=renamed)
+    argv = [str(snap), "--baseline", str(base)] + (extra_args or [])
+    return gate.main(argv)
+
+
+def test_unrenamed_stage_set_mismatch_still_refuses(tmp_path, capsys):
+    rc = _run(tmp_path, {"bgp:encode": 1.0}, {"bgp:stream": 1.0})
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "disagree on the stage set" in err
+    assert "bgp:stream" in err and "bgp:encode" in err
+
+
+def test_renamed_stage_gates_against_old_timing(tmp_path, capsys):
+    # same speed under the new name: passes
+    rc = _run(
+        tmp_path,
+        {"bgp:encode": 1.0, "other": 0.5},
+        {"bgp:stream": 1.0, "other": 0.5},
+        renamed={"bgp:stream": "bgp:encode"},
+    )
+    assert rc == 0
+    assert "bgp:encode" in capsys.readouterr().out
+
+
+def test_renamed_stage_regression_still_fails(tmp_path, capsys):
+    rc = _run(
+        tmp_path,
+        {"bgp:encode": 2.0},
+        {"bgp:stream": 1.0},
+        renamed={"bgp:stream": "bgp:encode"},
+    )
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "bgp:encode" in err and "regressed" in err
+
+
+def test_stale_rename_mapping_is_an_error(tmp_path):
+    with pytest.raises(SystemExit, match="matches no"):
+        _run(
+            tmp_path,
+            {"bgp:stream": 1.0},
+            {"bgp:stream": 1.0},
+            renamed={"gone:stage": "bgp:stream"},
+        )
+
+
+def test_rename_target_collision_is_an_error(tmp_path):
+    with pytest.raises(SystemExit, match="collides"):
+        _run(
+            tmp_path,
+            {"a": 1.0, "b": 1.0},
+            {"a": 1.0, "b": 1.0},
+            renamed={"a": "b"},
+        )
+
+
+def test_malformed_rename_table_is_an_error(tmp_path):
+    with pytest.raises(SystemExit, match="renamed"):
+        _run(tmp_path, {"a": 1.0}, {"a": 1.0}, renamed={"a": 3})
+
+
+def test_write_baseline_drops_rename_table(tmp_path):
+    snap = tmp_path / "snapshot.json"
+    base = tmp_path / "baseline.json"
+    _write_snapshot(snap, {"bgp:encode": 1.0})
+    _write_baseline(base, {"bgp:stream": 1.0}, renamed={"bgp:stream": "bgp:encode"})
+    rc = gate.main([str(snap), "--baseline", str(base), "--write-baseline"])
+    assert rc == 0
+    doc = json.loads(base.read_text())
+    assert "renamed" not in doc
+    assert set(doc["stages"]) == {"bgp:encode"}
