@@ -18,7 +18,12 @@ import numpy as np
 
 from repro.bgp.records import RecordSet, records_day_classes
 from repro.lifetimes.bgp import build_operational_dataset
-from repro.runtime import ArtifactCache, PipelineStats, ledger_disabled
+from repro.runtime import (
+    ArtifactCache,
+    MetricsRegistry,
+    PipelineStats,
+    ledger_disabled,
+)
 from repro.runtime.executor import ProcessPoolBackend
 from repro.simulation import bench, build_datasets
 from repro.simulation.config import tiny
@@ -72,22 +77,142 @@ def test_pipeline_scaling(record_result):
         f"({warm_seconds:.3f}s vs {cold_seconds:.3f}s)"
     )
 
-    backend_speedup = cold_seconds / parallel_seconds
+    # the descriptor fan-out must keep restore:views from regressing
+    # under the pool (the pickled-view blowup the table engine removes);
+    # small absolute floor so sub-100ms stages don't trip on noise
+    serial_views = serial_stats.seconds_of("restore:views")
+    parallel_views = parallel_stats.seconds_of("restore:views")
+    assert parallel_views <= max(2 * serial_views, serial_views + 0.25), (
+        f"restore:views regressed under the process pool: "
+        f"{parallel_views:.3f}s with --jobs 2 vs {serial_views:.3f}s serial"
+    )
+
+    # Per-stage serial-vs-process deltas instead of one speedup
+    # headline: on a 1-CPU host the single number is dominated by pool
+    # overhead and reads as a global regression even when individual
+    # fan-outs help.  A stage the pool actually hurt is named and
+    # flagged; everything else speaks for itself.
+    serial_by_stage = serial_stats.as_dict()
+    parallel_by_stage = parallel_stats.as_dict()
+    stage_lines = [
+        f"{'stage':<28} {'serial':>9} {'jobs 2':>9} {'delta':>9}",
+    ]
+    for name in dict.fromkeys([*serial_by_stage, *parallel_by_stage]):
+        a = serial_by_stage.get(name)
+        b = parallel_by_stage.get(name)
+        if a is None or b is None:
+            continue
+        flag = "  fanout-regressed" if b > a * 1.25 + 0.05 else ""
+        stage_lines.append(
+            f"{name:<28} {a:>8.3f}s {b:>8.3f}s {b - a:>+8.3f}s{flag}"
+        )
+
     lines = [
-        f"host CPUs: {os.cpu_count()} (speedup >1 needs real cores; "
+        f"host CPUs: {os.cpu_count()} (parallel wins need real cores; "
         "on 1 CPU the pool only adds pickling overhead)",
         "",
         serial_stats.render(),
         "",
         parallel_stats.render(),
         "",
+        "\n".join(stage_lines),
+        "",
         f"{'cold build (serial)':<28} {cold_seconds:>9.3f}s",
         f"{'build with --jobs 2':<28} {parallel_seconds:>9.3f}s",
         f"{'warm cache hit':<28} {warm_seconds:>9.3f}s",
-        f"{'serial/parallel speedup':<28} {backend_speedup:>9.2f}x",
         f"{'cold/warm cache speedup':<28} {cache_speedup:>9.2f}x",
     ]
     record_result("pipeline_scaling", "\n".join(lines))
+
+
+#: Restoration stages the delegation-table engine accelerates; the
+#: table path pays ``restore:table`` on top, so the sum is the honest
+#: cost either way (inter-rir and merge are shared code, excluded).
+_RESTORE_STAGES = ("restore:table", "restore:views", "restore:per-registry")
+
+
+def _restore_stage_seconds(stats: PipelineStats) -> float:
+    return sum(stats.seconds_of(name) for name in _RESTORE_STAGES)
+
+
+def test_restoration_scaling(record_result, tmp_path):
+    """Delegation-table vs object restoration: speed and byte-identity.
+
+    Four bench-scale builds — object and table engines, serial and
+    ``--jobs 2`` — compared on output (must match exactly, ordering
+    included) and on their restore-stage wall time.  Each build gets a
+    private metrics registry: these are comparison rows, and the slow
+    object-engine runs must not leak into the session's gated stage
+    histograms.  The assertions pin the two ISSUE 7 claims: under a
+    process pool the descriptor fan-out beats pickled views by a wide
+    margin, and serially the table engine (container encode included)
+    stays in the object engine's ballpark.
+    """
+    def build(**kwargs):
+        stats = PipelineStats(metrics=MetricsRegistry())
+        bundle = build_datasets(bench(seed=2021), stats=stats, **kwargs)
+        return bundle, stats
+
+    container = tmp_path / "bench.dtab"
+    object_bundle, object_stats = build(restoration_engine="object")
+    cold_bundle, cold_stats = build(
+        restoration_engine="table", restoration_table=container
+    )
+    steady_bundle, steady_stats = build(
+        restoration_engine="table", restoration_table=container
+    )
+    warm_bundle, warm_stats = build(
+        restoration_engine="table", restoration_table=container, jobs=2
+    )
+    pobj_bundle, pobj_stats = build(restoration_engine="object", jobs=2)
+
+    # engines and backends agree exactly, ordering included
+    for bundle in (cold_bundle, steady_bundle, warm_bundle, pobj_bundle):
+        assert bundle.restored.stints == object_bundle.restored.stints
+        assert list(bundle.restored.stints) == list(object_bundle.restored.stints)
+        assert bundle.admin_lives == object_bundle.admin_lives
+        assert (
+            bundle.restoration_report.summary()
+            == object_bundle.restoration_report.summary()
+        )
+
+    # the cold run encodes + persists; the warm run memory-maps the
+    # container and fans out (path, registry) descriptors
+    spans = {s.name: s for s in cold_stats.tracer.spans}
+    assert spans["restore:table"].attrs["source"] == "encoded"
+    spans = {s.name: s for s in warm_stats.tracer.spans}
+    assert spans["restore:table"].attrs["source"] == "mmap"
+    assert spans["restore:table"].attrs["fanout"] == "path"
+
+    object_t = _restore_stage_seconds(object_stats)
+    cold_t = _restore_stage_seconds(cold_stats)
+    steady_t = _restore_stage_seconds(steady_stats)
+    warm_t = _restore_stage_seconds(warm_stats)
+    pobj_t = _restore_stage_seconds(pobj_stats)
+    pool_speedup = pobj_t / warm_t if warm_t > 0 else float("inf")
+    assert pool_speedup >= 2.5, (
+        f"table descriptor fan-out only {pool_speedup:.1f}x faster than "
+        f"pickled object views under --jobs 2 ({warm_t:.3f}s vs {pobj_t:.3f}s)"
+    )
+    # steady state (container already on disk, zero-copy re-open) must
+    # stay in the object engine's ballpark serially; the cold encode is
+    # a one-time cost the cache amortizes, reported but not gated here
+    assert steady_t <= 2.0 * object_t + 0.1, (
+        f"table engine too slow serially: {steady_t:.3f}s warm mmap "
+        f"vs {object_t:.3f}s object"
+    )
+
+    lines = [
+        f"bench-scale restore stages (table+views+per-registry), "
+        f"host CPUs: {os.cpu_count()}",
+        f"{'object serial':<28} {object_t:>9.3f}s",
+        f"{'table serial (cold encode)':<28} {cold_t:>9.3f}s",
+        f"{'table serial (warm mmap)':<28} {steady_t:>9.3f}s",
+        f"{'table jobs 2 (warm mmap)':<28} {warm_t:>9.3f}s",
+        f"{'object jobs 2':<28} {pobj_t:>9.3f}s",
+        f"{'pool speedup (table/object)':<28} {pool_speedup:>9.2f}x",
+    ]
+    record_result("restoration_scaling", "\n".join(lines))
 
 
 #: Stages the columnar activity engine replaces (segmentation and cache

@@ -43,6 +43,13 @@ make repeat runs skip the stream).  The ``records`` engine packs the
 window into the ``bgp-records/v1`` columnar container — cached as a raw
 artifact and re-opened via mmap on later runs; ``--bgp-records PATH``
 pins the container to an explicit file.
+``--restoration-engine table|object`` picks the §3.1 delegation
+restoration path: ``table`` (the default) packs the archive into the
+``delegation-table/v1`` container once and restores off whole-array
+candidate detection, fanning workers out over mmap descriptors instead
+of pickled views; ``object`` is the dict-of-stints reference.  Both
+produce byte-identical datasets; ``--restoration-table PATH`` pins the
+container to an explicit file re-opened zero-copy on later runs.
 
 Observability flags on ``simulate`` (see DESIGN.md §7): ``--trace``
 writes the run's nested span trace as JSON lines, ``--metrics-out``
@@ -175,6 +182,22 @@ def build_parser() -> argparse.ArgumentParser:
                           "element encoding (records engine only): created "
                           "on first run, memory-mapped zero-copy on every "
                           "later run instead of re-materializing the stream")
+    simulate.add_argument("--restoration-engine",
+                          choices=("table", "object"),
+                          default="table",
+                          help="how the §3.1 delegation restoration runs: "
+                          "'table' (default) packs the archive into the "
+                          "delegation-table/v1 container and restores off "
+                          "whole-array candidate detection with mmap "
+                          "fan-out descriptors; 'object' walks the "
+                          "dict-of-stints reference path (both yield "
+                          "byte-identical datasets)")
+    simulate.add_argument("--restoration-table", type=Path, default=None,
+                          metavar="PATH",
+                          help="container file for the packed "
+                          "delegation-table/v1 rows (table engine only): "
+                          "created on first run, memory-mapped zero-copy "
+                          "on every later run")
 
     analyze = sub.add_parser("analyze", help="joint analysis over exported datasets")
     analyze.add_argument("admin", type=Path, help="administrative dataset JSON")
@@ -302,6 +325,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             config, inject_pitfalls=not args.no_pitfalls,
             timeout=args.timeout, executor=executor, cache=args.cache_dir,
             cache_verify=args.cache_verify, stats=stats,
+            restoration_engine=args.restoration_engine,
+            restoration_table=args.restoration_table,
         )
         if args.bgp_engine == "interval":
             op_lives = bundle.op_lives
@@ -361,6 +386,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 "bgp_window": args.bgp_window,
                 "bgp_records": (
                     str(args.bgp_records) if args.bgp_records else None
+                ),
+                "restoration_engine": args.restoration_engine,
+                "restoration_table": (
+                    str(args.restoration_table)
+                    if args.restoration_table else None
                 ),
                 "timeout": args.timeout,
                 "jobs": args.jobs,

@@ -19,12 +19,16 @@ parallel output is bit-identical by construction.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..asn.blocks import IanaLedger
 from ..asn.numbers import ASN
 from ..rir.archive import DelegationArchive, Stint
+from ..runtime.cache import ArtifactCache
 from ..runtime.executor import ExecutorSpec, resolve_executor
 from ..runtime.ledger import ledger_enabled, record_boundary
 from ..runtime.profiling import PipelineStats
@@ -144,6 +148,10 @@ def restore_archive(
     ledger: Optional[IanaLedger] = None,
     executor: ExecutorSpec = None,
     stats: Optional[PipelineStats] = None,
+    engine: str = "object",
+    cache: Optional[ArtifactCache] = None,
+    table_path: Optional[Union[str, Path]] = None,
+    cache_key_parts: Optional[Mapping[str, Any]] = None,
 ) -> tuple:
     """Run the full §3.1 restoration over an archive.
 
@@ -163,11 +171,34 @@ def restore_archive(
         backends.
     stats:
         Optional :class:`PipelineStats` receiving per-stage timings.
+    engine:
+        ``"object"`` walks dict-of-``Stint`` timelines (the reference
+        implementation); ``"table"`` packs the archive into a
+        ``delegation-table/v1`` container once (``restore:table``) and
+        runs view assembly plus per-registry candidate detection as
+        whole-array ops, fanning workers out over ``(path, registry)``
+        descriptors instead of pickled views.  Output is contractually
+        byte-identical between the two.
+    cache:
+        Optional :class:`ArtifactCache` holding the packed container
+        as a raw (mmap-able) entry.  Only consulted by the table
+        engine, and only when ``cache_key_parts`` names the
+        archive-determining inputs (the archive itself is too
+        expensive to fingerprint here).
+    table_path:
+        Optional container file path: reused when present, written
+        after a cold encode (the file doubles as the fan-out backing
+        store).
+    cache_key_parts:
+        Mapping mixed into the container cache key alongside
+        ``DELEGATION_TABLE_VERSION``.
 
     Returns
     -------
     (RestoredDelegations, RestorationReport)
     """
+    if engine not in ("object", "table"):
+        raise ValueError(f"unknown restoration engine {engine!r}")
     executor = resolve_executor(executor)
     if stats is None:
         stats = PipelineStats()
@@ -176,13 +207,53 @@ def restore_archive(
     executor.instrument(stats.tracer, stats.metrics)
     registries = sorted(archive.registries())
 
-    with stats.stage(
-        "restore:views", items=len(registries), component="restoration"
-    ):
-        built = executor.map(
-            _build_view_task, [(archive, registry) for registry in registries]
-        )
-    views: Dict[str, RegistryView] = dict(zip(registries, built))
+    table = None
+    handle = None
+    spilled: Optional[Path] = None
+    if engine == "table":
+        from .table import obtain_table, restore_registry_table_task
+
+        with stats.stage(
+            "restore:table", component="restoration", engine="table"
+        ) as span:
+            table, source, handle = obtain_table(
+                archive,
+                cache=cache,
+                table_path=table_path,
+                cache_key_parts=cache_key_parts,
+            )
+            if handle[0] == "bytes" and executor.jobs > 1:
+                # a pool fan-out must ship a descriptor, not the blob
+                # once per registry: spill to a temp file the workers
+                # mmap, removed after the fan-out returns (their
+                # mappings survive the unlink)
+                fd, tmp = tempfile.mkstemp(
+                    prefix="delegation-table-", suffix=".dtab"
+                )
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(handle[1])
+                spilled = Path(tmp)
+                handle = ("path", str(spilled))
+            span.set_attr("source", source)
+            span.set_attr("fanout", handle[0])
+        with stats.stage(
+            "restore:views",
+            items=len(registries),
+            component="restoration",
+            engine="table",
+        ):
+            views: Dict[str, RegistryView] = {
+                registry: table.build_view(registry, include_regular=False)
+                for registry in registries
+            }
+    else:
+        with stats.stage(
+            "restore:views", items=len(registries), component="restoration"
+        ):
+            built = executor.map(
+                _build_view_task, [(archive, registry) for registry in registries]
+            )
+        views = dict(zip(registries, built))
 
     # Steps (i)-(v) are per-registry; step order inside each task
     # mirrors §3.1: same-day resolution is implicit in the
@@ -193,14 +264,36 @@ def restore_archive(
     report = RestorationReport()
     rows_before_steps = {r: _view_rows(views[r]) for r in registries}
     with stats.stage(
-        "restore:per-registry", items=len(registries), component="restoration"
+        "restore:per-registry",
+        items=len(registries),
+        component="restoration",
+        engine=engine,
     ) as span:
-        results = executor.map(
-            _restore_registry_task,
-            [(registry, views[registry], erx_reference) for registry in registries],
-        )
-    for registry, view, worker_report in results:
-        views[registry] = view
+        if engine == "table":
+            results = executor.map(
+                restore_registry_table_task,
+                [(handle, registry, erx_reference) for registry in registries],
+            )
+        else:
+            results = executor.map(
+                _restore_registry_task,
+                [
+                    (registry, views[registry], erx_reference)
+                    for registry in registries
+                ],
+            )
+    if spilled is not None:
+        spilled.unlink(missing_ok=True)
+    for registry, result_view, worker_report in results:
+        if engine == "table":
+            # the worker returns only the candidate ASNs' mutated
+            # lists; patch them into the decoded view (assignment to
+            # existing keys preserves insertion order)
+            view = views[registry]
+            for asn, stints in result_view.items():
+                view.stints[asn] = stints
+        else:
+            views[registry] = result_view
         report.merge(worker_report)
     if ledger_enabled():
         span.set_attr("ledger", {

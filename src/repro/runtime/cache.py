@@ -52,6 +52,7 @@ __all__ = [
     "PIPELINE_VERSION",
     "ACTIVITY_TABLE_VERSION",
     "BGP_RECORDS_VERSION",
+    "DELEGATION_TABLE_VERSION",
     "MANIFEST_FORMAT",
     "USE_ENV_FAULTS",
     "CacheError",
@@ -85,6 +86,15 @@ ACTIVITY_TABLE_VERSION = "activity-table/v1"
 #: container parser.  Stored as a *raw* cache entry (``.raw``), not a
 #: pickle: the artifact file on disk IS the mmap-able container.
 BGP_RECORDS_VERSION = "bgp-records/v1"
+
+#: Version tag of the packed delegation-restoration table (the
+#: zero-copy columnar encoding of :mod:`repro.restoration.table`).
+#: Part of every delegation-table cache key and, like the records tag,
+#: doubles as the container's format tag: a format change invalidates
+#: the key and is rejected by the parser.  Stored raw (``.raw``), not
+#: pickled — the cache entry on disk IS the mmap-able container the
+#: ``process:N`` restoration fan-out re-opens.
+DELEGATION_TABLE_VERSION = "delegation-table/v1"
 
 #: Format tag of the per-entry sidecar manifest.
 MANIFEST_FORMAT = "artifact-manifest/v1"

@@ -35,6 +35,7 @@ there in :class:`~repro.runtime.profiling.PipelineStats`.
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor as _StdProcessPool
 from concurrent.futures.process import BrokenProcessPool
@@ -110,6 +111,17 @@ def _traced_call(payload):
     tracer = Tracer(root_name=_task_label(fn), root_kind="task", worker=True)
     result = fn(item)
     return result, tracer.export_spans(), metrics.snapshot()
+
+
+def _traced_call_pickled(blob: bytes):
+    """Worker-side shim over pre-pickled ``(fn, item)`` payloads.
+
+    The parent pickles each payload once so it can count the exact
+    bytes a fan-out ships (``executor.bytes_shipped``); shipping the
+    resulting blob instead of the payload costs only a re-wrap of
+    already-serialized bytes.
+    """
+    return _traced_call(pickle.loads(blob))
 
 
 class PipelineExecutor:
@@ -259,11 +271,25 @@ class ProcessPoolBackend(PipelineExecutor):
         pool = self._ensure_pool()
         if self.tracer is None:
             return list(pool.map(fn, items))
-        raw = list(pool.map(_traced_call, [(fn, item) for item in items]))
+        # pickle payloads here (not in pool.map) so the fan-out's exact
+        # shipping cost is known at submit time; a stage whose payloads
+        # dwarf its compute is the one to convert to descriptor fan-out
+        blobs = [
+            pickle.dumps((fn, item), protocol=pickle.HIGHEST_PROTOCOL)
+            for item in items
+        ]
+        shipped = sum(len(blob) for blob in blobs)
+        raw = list(pool.map(_traced_call_pickled, blobs))
         # merge only after the whole fan-out succeeded, so a retried
         # attempt never leaves half-adopted spans behind
         parent = self.tracer.current()
         metrics = resolve_metrics(self.metrics)
+        metrics.inc("executor.bytes_shipped", shipped)
+        if parent is not None:
+            parent.set_attr(
+                "bytes_shipped",
+                int(parent.attrs.get("bytes_shipped", 0)) + shipped,
+            )
         results: List[R] = []
         for result, spans, snapshot in raw:
             self.tracer.adopt(spans, parent=parent)

@@ -156,6 +156,8 @@ def render_trace(
         extras = []
         if "items" in attrs:
             extras.append(f"items={attrs['items']}")
+        if "bytes_shipped" in attrs:
+            extras.append(f"shipped={attrs['bytes_shipped']}B")
         if "cache" in attrs:
             extras.append(f"cache={attrs['cache']}")
         if span.get("annotations"):

@@ -28,13 +28,26 @@ from .observability import MetricsRegistry, Span, Tracer, resolve_metrics
 __all__ = ["StageTiming", "PipelineStats"]
 
 
+def _human_bytes(n: int) -> str:
+    """``4242`` → ``'4.1KiB'`` — compact payload sizes for the table."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    return f"{int(value)}B"  # pragma: no cover - unreachable
+
+
 @dataclass
 class StageTiming:
-    """One stage's wall time and (optional) fan-out width."""
+    """One stage's wall time and (optional) fan-out width/payload."""
 
     name: str
     seconds: float
     items: Optional[int] = None
+    #: Total pickled payload bytes the stage's pool fan-outs shipped to
+    #: workers (``None`` when the stage never crossed a process pool).
+    bytes_shipped: Optional[int] = None
 
     def rate(self) -> Optional[float]:
         """Items per second, when both are known."""
@@ -77,7 +90,12 @@ class PipelineStats:
     def stages(self) -> List[StageTiming]:
         """Finished stage spans, projected to the profile view."""
         return [
-            StageTiming(name=span.name, seconds=span.seconds, items=span.items)
+            StageTiming(
+                name=span.name,
+                seconds=span.seconds,
+                items=span.items,
+                bytes_shipped=span.attrs.get("bytes_shipped"),
+            )
             for span in self.tracer.stage_spans()
         ]
 
@@ -160,13 +178,18 @@ class PipelineStats:
         total = sum(stage.seconds for stage in stages)
         lines = [
             f"Pipeline profile ({self.backend} backend, {total:.3f}s total)",
-            f"{'stage':<28} {'seconds':>9} {'share':>7} {'items':>8}",
+            f"{'stage':<28} {'seconds':>9} {'share':>7} {'items':>8} {'shipped':>9}",
         ]
         for stage in stages:
             share = stage.seconds / total if total > 0 else 0.0
             items = "" if stage.items is None else str(stage.items)
+            shipped = (
+                "" if stage.bytes_shipped is None
+                else _human_bytes(stage.bytes_shipped)
+            )
             lines.append(
-                f"{stage.name:<28} {stage.seconds:>9.3f} {share:>6.1%} {items:>8}"
+                f"{stage.name:<28} {stage.seconds:>9.3f} {share:>6.1%} "
+                f"{items:>8} {shipped:>9}"
             )
         if self.events:
             lines.append(f"runtime events ({len(self.events)}):")

@@ -181,6 +181,8 @@ def build_datasets(
     cache: Union[ArtifactCache, str, Path, None] = None,
     cache_verify: str = "sha256",
     stats: Optional[PipelineStats] = None,
+    restoration_engine: str = "table",
+    restoration_table: Union[str, Path, None] = None,
 ) -> DatasetBundle:
     """Run the full pipeline for one world configuration.
 
@@ -210,6 +212,16 @@ def build_datasets(
         collecting per-stage wall times, item counts, and the
         runtime's degradation events (quarantines, worker retries,
         serial fallback).
+    restoration_engine:
+        ``"table"`` (default) restores off the packed
+        ``delegation-table/v1`` container (whole-array view assembly,
+        ``(path, registry)`` fan-out descriptors); ``"object"`` is the
+        reference dict-of-``Stint`` implementation.  Byte-identical by
+        contract, and deliberately outside the bundle cache key so
+        either engine serves the other's hit.
+    restoration_table:
+        Optional container file path handed to the table engine
+        (reused when present, written on a cold encode).
     """
     if config is None:
         config = tiny()
@@ -251,6 +263,9 @@ def build_datasets(
             config, executor, stats,
             inject_pitfalls=inject_pitfalls, pitfall_config=pitfall_config,
             timeout=timeout, min_peers=min_peers,
+            restoration_engine=restoration_engine,
+            restoration_table=restoration_table,
+            cache=cache if isinstance(cache, ArtifactCache) else None,
         )
     finally:
         stats.drain_events_from(executor)
@@ -277,6 +292,9 @@ def _build(
     pitfall_config: Optional[PitfallConfig],
     timeout: int,
     min_peers: int,
+    restoration_engine: str = "object",
+    restoration_table: Union[str, Path, None] = None,
+    cache: Optional[ArtifactCache] = None,
 ) -> DatasetBundle:
     """The uncached pipeline body (world → archive → restore → lifetimes)."""
     with stats.stage("simulate", component="simulation") as timing:
@@ -307,6 +325,20 @@ def _build(
         ledger=world.ledger,
         executor=executor,
         stats=stats,
+        engine=restoration_engine,
+        cache=cache,
+        table_path=restoration_table,
+        # the archive-determining inputs; timeout/min_peers shape only
+        # the BGP half, so one container serves every threshold
+        cache_key_parts={
+            "config": config,
+            "inject_pitfalls": inject_pitfalls,
+            "pitfall_config": (
+                (pitfall_config if pitfall_config is not None else PitfallConfig())
+                if inject_pitfalls
+                else None
+            ),
+        },
     )
 
     with stats.stage("admin-lifetimes", component="lifetimes") as timing:

@@ -305,20 +305,23 @@ class TestPipelineUnderFaults:
             tmp_path,
             faults=FaultInjector(
                 [
-                    FaultSpec("cache:write", "torn-write", max_fires=1),
+                    # the first build writes two entries (delegation
+                    # table, then bundle); tear both so the warm path
+                    # has to reject each kind
+                    FaultSpec("cache:write", "torn-write", max_fires=2),
                     FaultSpec("cache:read", "oserror", max_fires=1),
                 ],
                 seed=3,
             ),
         )
-        # first build stores a torn entry; the verified warm path must
-        # reject it and rebuild rather than serve it
+        # first build stores torn entries; the verified warm path must
+        # reject them and rebuild rather than serve them
         first = build_datasets(tiny(seed=11), cache=cache)
         second = build_datasets(tiny(seed=11), cache=cache)
         for bundle in (first, second):
             assert bundle.admin_lives == clean.admin_lives
             assert bundle.op_lives == clean.op_lives
-        assert cache.hits == 0  # both lookups degraded to misses
+        assert cache.hits == 0  # every lookup degraded to a miss
 
     def test_degraded_executor_surfaces_in_stats(self):
         stats = PipelineStats()
