@@ -21,6 +21,15 @@ drops the table — a fresh baseline speaks the current names.
 A snapshot flagged incomplete (the benchmark session did not exit
 cleanly) also fails rather than gating partial timings.
 
+Besides stage wall times, the gate pins the serve query layer's
+latency/throughput gauges (``serve.query.p50_us``, ``serve.query.p99_us``,
+``serve.query.qps``, written by ``test_serve_query.py``) against the
+baseline's ``"serve"`` section: latency may grow by at most
+``--serve-tolerance`` relative, throughput may shrink by the same
+factor.  Latency tolerances are deliberately looser than stage
+tolerances — shared CI runners jitter microbenchmarks far more than
+multi-second stage sums.
+
 The gate reads the machine-readable snapshot, never the human-oriented
 ``.txt`` result tables, so a formatting change can never silently
 defeat it.
@@ -47,6 +56,22 @@ from pathlib import Path
 RESULTS_DIR = Path(__file__).parent / "results"
 BASELINE_FORMAT = "perf-baseline/v1"
 
+#: Gauge names the serve benchmark writes, and the direction in which
+#: each one regresses ("up" = bigger is worse, "down" = smaller is worse).
+SERVE_GAUGES = {
+    "serve.query.p50_us": "up",
+    "serve.query.p99_us": "up",
+    "serve.query.qps": "down",
+}
+
+
+def serve_gauges(snapshot: dict) -> dict:
+    """The serve benchmark's gauges present in the snapshot."""
+    gauges = snapshot.get("gauges", {})
+    return {
+        name: float(gauges[name]) for name in SERVE_GAUGES if name in gauges
+    }
+
 
 def stage_seconds(snapshot: dict) -> dict:
     """stage name -> total wall seconds, from ``stage.<name>.seconds``."""
@@ -59,7 +84,7 @@ def stage_seconds(snapshot: dict) -> dict:
 
 def load_json(path: Path) -> dict:
     try:
-        return json.loads(path.read_text())
+        return json.loads(path.read_text(encoding="utf-8"))
     except FileNotFoundError:
         sys.exit(f"perf gate: {path} not found — run the scaling benchmarks first")
     except json.JSONDecodeError as exc:
@@ -86,6 +111,11 @@ def main(argv=None) -> int:
         help="baseline stages faster than this are noise, not gated",
     )
     parser.add_argument(
+        "--serve-tolerance", type=float, default=1.0,
+        help="allowed relative regression of the serve query gauges "
+        "(default: 1.0 = latency may double, throughput may halve)",
+    )
+    parser.add_argument(
         "--write-baseline", action="store_true",
         help="rewrite the baseline from the snapshot instead of gating",
     )
@@ -104,16 +134,23 @@ def main(argv=None) -> int:
     if not current:
         sys.exit(f"perf gate: no stage.*.seconds histograms in {args.snapshot}")
 
+    gauges = serve_gauges(snapshot)
+
     if args.write_baseline:
         baseline = {
             "format": BASELINE_FORMAT,
             "stages": {k: round(v, 4) for k, v in sorted(current.items())},
             "total_seconds": round(sum(current.values()), 4),
         }
+        if gauges:
+            baseline["serve"] = {k: round(v, 1) for k, v in sorted(gauges.items())}
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
-        args.baseline.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        args.baseline.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
         print(f"perf gate: baseline written to {args.baseline} "
-              f"({len(current)} stages, {baseline['total_seconds']:.3f}s total)")
+              f"({len(current)} stages, {baseline['total_seconds']:.3f}s total"
+              + (f", {len(gauges)} serve gauges)" if gauges else ")"))
         return 0
 
     baseline_doc = load_json(args.baseline)
@@ -193,11 +230,57 @@ def main(argv=None) -> int:
             f"({base_total:.3f}s -> {cur_total:.3f}s)"
         )
 
+    # serve query gauges: same stage-set discipline — the baseline and
+    # the snapshot must agree on which gauges exist before comparing
+    serve_base = baseline_doc.get("serve", {})
+    if not isinstance(serve_base, dict):
+        sys.exit(f"perf gate: {args.baseline} 'serve' must be an object")
+    serve_rows = []
+    missing = sorted(set(serve_base) - set(gauges))
+    extra = sorted(set(gauges) - set(serve_base))
+    if missing or extra:
+        print("perf gate: baseline and snapshot disagree on the serve "
+              "gauges:", file=sys.stderr)
+        for name in missing:
+            print(f"  - {name!r} in baseline but missing from the snapshot "
+                  f"(did test_serve_query.py run?)", file=sys.stderr)
+        for name in extra:
+            print(f"  + {name!r} in the snapshot but not in baseline",
+                  file=sys.stderr)
+        print("  if the change is intentional, refresh the committed "
+              "baseline: python benchmarks/check_perf_gate.py --write-baseline",
+              file=sys.stderr)
+        return 1
+    for name in sorted(serve_base):
+        base = float(serve_base[name])
+        cur = gauges[name]
+        delta = (cur - base) / base if base > 0 else 0.0
+        worse_up = SERVE_GAUGES.get(name, "up") == "up"
+        regressed = (
+            cur > base * (1.0 + args.serve_tolerance)
+            if worse_up
+            else cur * (1.0 + args.serve_tolerance) < base
+        )
+        status = "FAIL" if regressed else "ok"
+        serve_rows.append((name, base, cur, f"{delta:+.1%} {status}"))
+        if regressed:
+            direction = "regressed" if worse_up else "dropped"
+            failures.append(
+                f"serve gauge {name!r} {direction} {delta:+.1%} "
+                f"({base:,.1f} -> {cur:,.1f}, tolerance "
+                f"{args.serve_tolerance:.0%})"
+            )
+
     width = max((len(r[0]) for r in rows), default=8)
     print(f"{'stage':<{width}} {'baseline':>10} {'current':>10}  verdict")
     for name, base, cur, verdict in rows:
         print(f"{name:<{width}} {base:>9.3f}s {cur:>9.3f}s  {verdict}")
     print(f"{'total':<{width}} {base_total:>9.3f}s {cur_total:>9.3f}s  {total_delta:+.1%}")
+    if serve_rows:
+        gwidth = max(len(r[0]) for r in serve_rows)
+        print(f"\n{'serve gauge':<{gwidth}} {'baseline':>12} {'current':>12}  verdict")
+        for name, base, cur, verdict in serve_rows:
+            print(f"{name:<{gwidth}} {base:>12,.1f} {cur:>12,.1f}  {verdict}")
 
     if failures:
         print("\nperf gate FAILED:", file=sys.stderr)

@@ -77,7 +77,7 @@ def record_result():
 
     def _record(name: str, text: str) -> Path:
         path = RESULTS_DIR / f"{name}.txt"
-        path.write_text(text.rstrip() + "\n")
+        path.write_text(text.rstrip() + "\n", encoding="utf-8")
         return path
 
     return _record

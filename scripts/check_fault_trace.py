@@ -104,7 +104,7 @@ def main(argv=None) -> int:
     )
     write_run_manifest(out / "run_manifest.json", manifest)
 
-    lines = [json.loads(line) for line in trace_path.read_text().splitlines()]
+    lines = [json.loads(line) for line in trace_path.read_text(encoding="utf-8").splitlines()]
     annotations = [
         note
         for line in lines[1:]

@@ -25,6 +25,19 @@ Subcommands mirror the paper's workflow (Fig. 1):
     two runs — by directory or manifest-digest prefix via the
     ``runs.jsonl`` index — attributing wall-time deltas to cache
     misses, stage slowdowns, or fan-out imbalance.
+``serve-build``
+    Build a read-optimized ``serve-store/v1`` snapshot (sharded
+    lifetimes + taxonomy, see ``repro.serve``) from a simulated world.
+``serve-append``
+    Advance an existing store by N days incrementally — the store's
+    exact world is re-simulated from the snapshot manifest's config
+    fingerprint, and the result is byte-identical to a full rebuild
+    over the extended window.
+``serve``
+    Answer point/as-of/range lifetime queries over HTTP from a store.
+``serve-bench``
+    Replay a deterministic zipf-skewed query load against an
+    in-process server and report p50/p99/throughput.
 
 Runtime flags on ``simulate``: ``--jobs N`` fans the parallel pipeline
 stages out over N worker processes (bit-identical output),
@@ -271,6 +284,82 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="PATH",
                        help="runs.jsonl index used to resolve digest "
                        "prefixes (default: ./runs.jsonl)")
+
+    sbuild = sub.add_parser(
+        "serve-build",
+        help="build a read-optimized serve store from a simulated world",
+    )
+    sbuild.add_argument("--scale", type=float, default=0.02,
+                        help="fraction of paper-scale volume (default 0.02)")
+    sbuild.add_argument("--seed", type=int, default=0)
+    sbuild.add_argument("--out", type=Path, required=True,
+                        help="store directory (created/refreshed in place)")
+    sbuild.add_argument("--window", type=int, default=365,
+                        help="days of BGP activity the store covers, "
+                        "ending at the window end (default 365)")
+    sbuild.add_argument("--end-back", type=int, default=0,
+                        help="move the window end N days before the "
+                        "world's last simulated day, leaving headroom "
+                        "for serve-append (default 0)")
+    sbuild.add_argument("--timeout", type=int, default=30,
+                        help="BGP inactivity timeout in days (default 30)")
+    sbuild.add_argument("--min-peers", type=int, default=2)
+    sbuild.add_argument("--min-corroboration", type=int, default=2)
+    sbuild.add_argument("--shard-size", type=int, default=None,
+                        help="ASNs per shard (default 512)")
+    sbuild.add_argument("--no-pitfalls", action="store_true",
+                        help="skip §3.1 defect injection")
+    sbuild.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the pipeline stages")
+    sbuild.add_argument("--cache-dir", type=Path, default=None,
+                        help="artifact cache reused for the world build "
+                        "and activity tables")
+    sbuild.add_argument("--runs-index", type=Path, default=None,
+                        metavar="PATH",
+                        help="register the snapshot in this runs.jsonl "
+                        "index (default: OUT/runs.jsonl)")
+    sbuild.add_argument("--profile", action="store_true",
+                        help="print per-stage wall times")
+
+    sappend = sub.add_parser(
+        "serve-append",
+        help="advance a serve store by N days (byte-identical to a rebuild)",
+    )
+    sappend.add_argument("--store", type=Path, required=True,
+                         help="existing serve-store/v1 directory")
+    sappend.add_argument("--days", type=int, default=1,
+                         help="days to append (default 1)")
+    sappend.add_argument("--runs-index", type=Path, default=None,
+                         metavar="PATH",
+                         help="register the new snapshot in this "
+                         "runs.jsonl index (default: STORE/runs.jsonl)")
+    sappend.add_argument("--profile", action="store_true",
+                         help="print per-stage wall times")
+
+    serve = sub.add_parser(
+        "serve", help="answer lifetime queries over HTTP from a store"
+    )
+    serve.add_argument("--store", type=Path, required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8480,
+                       help="TCP port (0 picks a free one; default 8480)")
+
+    sbench = sub.add_parser(
+        "serve-bench",
+        help="replay a deterministic query load against an in-process server",
+    )
+    sbench.add_argument("--store", type=Path, required=True)
+    sbench.add_argument("--queries", type=int, default=10_000)
+    sbench.add_argument("--concurrency", type=int, default=16)
+    sbench.add_argument("--zipf-skew", type=float, default=1.1,
+                        help="ASN popularity skew exponent (default 1.1)")
+    sbench.add_argument("--seed", type=int, default=0)
+    sbench.add_argument("--assert-p99-ms", type=float, default=None,
+                        metavar="MS",
+                        help="exit non-zero when p99 latency exceeds MS")
+    sbench.add_argument("--json-out", type=Path, default=None,
+                        metavar="PATH",
+                        help="also write the report as JSON")
     return parser
 
 
@@ -512,7 +601,9 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         print(insp.render_trace(view, max_depth=args.depth))
         if args.flame is not None:
             args.flame.parent.mkdir(parents=True, exist_ok=True)
-            args.flame.write_text("\n".join(insp.folded_stacks(view)) + "\n")
+            args.flame.write_text(
+                "\n".join(insp.folded_stacks(view)) + "\n", encoding="utf-8"
+            )
             print(f"wrote {args.flame} (folded stacks)")
         return 0
 
@@ -552,6 +643,197 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_build(args: argparse.Namespace) -> int:
+    from .runtime import PipelineStats, get_metrics, resolve_executor
+    from .runtime.faults import from_env
+    from .serve.store import DEFAULT_SHARD_SIZE, ServeStoreError, build_store
+
+    if args.window < 1:
+        print("error: --window must be at least 1 day", file=sys.stderr)
+        return 2
+    config = WorldConfig(seed=args.seed, scale=args.scale)
+    end = config.end_day - max(0, args.end_back)
+    start = max(config.start_day, end - args.window + 1)
+    if end <= config.start_day:
+        print("error: --end-back pushes the window before the world starts",
+              file=sys.stderr)
+        return 2
+    metrics = get_metrics()
+    metrics.clear()
+    stats = PipelineStats(metrics=metrics)
+    detach_faults = None
+    injector = from_env()
+    if injector is not None:
+        detach_faults = stats.tracer.subscribe_faults(injector)
+    executor = resolve_executor(args.jobs)
+    executor.instrument(stats.tracer, stats.metrics)
+    try:
+        bundle = build_datasets(
+            config, inject_pitfalls=not args.no_pitfalls,
+            timeout=args.timeout, executor=executor, cache=args.cache_dir,
+            stats=stats,
+        )
+        runs_index = args.runs_index
+        if runs_index is None:
+            runs_index = args.out / "runs.jsonl"
+        doc = build_store(
+            args.out, bundle.world, bundle.admin_lives,
+            start=start, end=end, timeout=args.timeout,
+            min_peers=args.min_peers,
+            min_corroboration=args.min_corroboration,
+            shard_size=(args.shard_size if args.shard_size
+                        else DEFAULT_SHARD_SIZE),
+            executor=executor, cache=args.cache_dir, stats=stats,
+            runs_index=runs_index,
+        )
+    except ServeStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        stats.drain_events_from(executor)
+        executor.close()
+        if detach_faults is not None:
+            detach_faults()
+    counts = doc["counts"]
+    print(f"built store {args.out}: {counts['asns']} ASNs, "
+          f"{counts['admin_lives']} admin + {counts['op_lives']} op lives, "
+          f"{len(doc['shards'])} shards, window "
+          f"{to_iso(start)} .. {to_iso(end)}")
+    print(f"snapshot {doc['digest'][:12]} registered in {runs_index}")
+    if args.profile:
+        print()
+        print(stats.render())
+    return 0
+
+
+def _cmd_serve_append(args: argparse.Namespace) -> int:
+    import json
+
+    from .runtime import PipelineStats, get_metrics
+    from .runtime.faults import from_env
+    from .serve.append import append_days
+    from .serve.store import MANIFEST_NAME, ServeStoreError, config_from_fingerprint
+    from .simulation.world import WorldSimulator
+
+    metrics = get_metrics()
+    metrics.clear()
+    stats = PipelineStats(metrics=metrics)
+    detach_faults = None
+    injector = from_env()
+    if injector is not None:
+        detach_faults = stats.tracer.subscribe_faults(injector)
+    try:
+        manifest_path = args.store / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {manifest_path}: {exc}", file=sys.stderr)
+            return 2
+        config = config_from_fingerprint(manifest.get("config"))
+        with stats.stage("simulate", component="simulation") as span:
+            world = WorldSimulator(config).run()
+            span.items = len(world.lives)
+        runs_index = args.runs_index
+        if runs_index is None:
+            runs_index = args.store / "runs.jsonl"
+        doc = append_days(
+            args.store, world, args.days, stats=stats, runs_index=runs_index,
+        )
+    except ServeStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if detach_faults is not None:
+            detach_faults()
+    meta = doc["meta"]
+    print(f"appended {args.days} day(s): window now "
+          f"{to_iso(meta['start'])} .. {to_iso(meta['end'])}, "
+          f"{doc['counts']['asns']} ASNs")
+    print(f"snapshot {doc['digest'][:12]} registered in {runs_index}")
+    if args.profile:
+        print()
+        print(stats.render())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.http import LifetimesServer
+    from .serve.index import StoreIndex
+    from .serve.store import ServeStoreError
+
+    try:
+        index = StoreIndex.open(args.store)
+    except ServeStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = LifetimesServer(index, host=args.host, port=args.port)
+
+    async def run() -> None:
+        host, port = await server.start()
+        print(f"serving {len(index)} ASNs (snapshot {index.digest[:12]}) "
+              f"on http://{host}:{port}")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .serve.http import LifetimesServer
+    from .serve.index import StoreIndex
+    from .serve.loadgen import plan_queries, run_load
+    from .serve.store import ServeStoreError
+
+    try:
+        index = StoreIndex.open(args.store)
+        plan = plan_queries(
+            index.all_asns(), index.meta, args.queries,
+            seed=args.seed, skew=args.zipf_skew,
+        )
+    except ServeStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def run():
+        server = LifetimesServer(index)
+        host, port = await server.start()
+        try:
+            return await run_load(
+                host, port, plan, concurrency=args.concurrency
+            )
+        finally:
+            await server.close()
+
+    report = asyncio.run(run())
+    doc = report.to_json_dict()
+    doc["snapshot"] = index.digest
+    print(f"{report.queries} queries in {report.seconds:.2f}s: "
+          f"{report.qps:,.0f} q/s, p50 {report.p50_us / 1000:.2f}ms, "
+          f"p99 {report.p99_us / 1000:.2f}ms, {report.errors} errors")
+    if args.json_out is not None:
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        args.json_out.write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.json_out}")
+    if report.errors:
+        print(f"error: {report.errors} queries failed", file=sys.stderr)
+        return 1
+    if args.assert_p99_ms is not None and report.p99_us > args.assert_p99_ms * 1000:
+        print(f"error: p99 {report.p99_us / 1000:.2f}ms exceeds the "
+              f"{args.assert_p99_ms:.2f}ms bound", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
@@ -559,6 +841,10 @@ _COMMANDS = {
     "squat-hunt": _cmd_squat_hunt,
     "export-dumps": _cmd_export_dumps,
     "inspect": _cmd_inspect,
+    "serve-build": _cmd_serve_build,
+    "serve-append": _cmd_serve_append,
+    "serve": _cmd_serve,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

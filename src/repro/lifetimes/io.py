@@ -47,7 +47,7 @@ def _atomic_write_text(path: PathLike, text: str) -> None:
     path = Path(path)
     tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}.{next(_UNIQUE)}")
     try:
-        tmp.write_text(text)
+        tmp.write_text(text, encoding="utf-8")
         os.replace(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)
@@ -55,7 +55,7 @@ def _atomic_write_text(path: PathLike, text: str) -> None:
 
 def _load_rows(path: PathLike, dataset: str) -> List[Dict[str, Any]]:
     try:
-        rows = json.loads(Path(path).read_text())
+        rows = json.loads(Path(path).read_text(encoding="utf-8"))
     except ValueError as exc:
         raise DatasetIOError(
             f"{dataset} dataset {path} is not valid JSON: {exc}"

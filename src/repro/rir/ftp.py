@@ -65,7 +65,7 @@ def export_archive(
             text = archive.file_text(window.source, day)
             if text is None:
                 continue
-            (directory / file_name(window.source, day)).write_text(text)
+            (directory / file_name(window.source, day)).write_text(text, encoding="utf-8")
             written += 1
     return written
 
@@ -139,7 +139,7 @@ class MirrorReader:
         path = self._index.get(source, {}).get(day)
         if path is None:
             return None
-        return parse_snapshot(path.read_text())
+        return parse_snapshot(path.read_text(encoding="utf-8"))
 
     def iter_snapshots(
         self, source: SourceKey

@@ -273,7 +273,7 @@ class ArtifactCache:
 
     def _read_manifest(self, manifest_path: Path) -> Optional[Dict[str, Any]]:
         try:
-            manifest = json.loads(manifest_path.read_text())
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             return None
         return manifest if isinstance(manifest, dict) else None
@@ -523,6 +523,73 @@ class ArtifactCache:
                 ) from exc
             return None
         return path
+
+    # -- named entries -------------------------------------------------
+
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not name or name != Path(name).name or name.startswith("."):
+            raise ValueError(f"invalid named cache entry {name!r}")
+        return name
+
+    def named_path(self, name: str) -> Path:
+        """Payload path of a *named* entry (caller-chosen file name).
+
+        Named entries carry the same sidecar manifest and publish
+        discipline as content-addressed ones but live under a stable,
+        human-meaningful file name — this is how the serve store's
+        index and shard files get atomic, verified, fault-injectable
+        writes without inventing a parallel publish path.
+        """
+        return self.root / self._check_name(name)
+
+    def named_manifest_path(self, name: str) -> Path:
+        return self.root / f"{self._check_name(name)}.manifest.json"
+
+    def store_named(
+        self, name: str, blob: bytes, *, strict: Optional[bool] = None
+    ) -> Optional[Path]:
+        """Atomically persist raw bytes under a caller-chosen name.
+
+        Identical guarantees to :meth:`store_raw` (unique temps,
+        manifest-first rename order, fault hooks at every write and
+        replace, guaranteed temp cleanup) — only the addressing
+        differs.
+        """
+        strict = self.strict_store if strict is None else strict
+        return self._publish(
+            name,
+            bytes(blob),
+            path=self.named_path(name),
+            manifest_path=self.named_manifest_path(name),
+            kind="named",
+            strict=strict,
+        )
+
+    def load_named(self, name: str) -> Optional[bytes]:
+        """Verified bytes of a named entry, or ``None``.
+
+        ``None`` covers both "missing" and "corrupt" (the latter is
+        quarantined first); callers that must distinguish retry the
+        write and then fail typed — see ``repro.serve.store``.
+        """
+        path = self.named_path(name)
+        blob = self._read_payload(path)
+        if blob is None:
+            self.misses += 1
+            self._inc("cache.misses")
+            return None
+        if self.verify == "sha256":
+            blob = self._verified_payload(
+                name, path, blob, manifest_path=self.named_manifest_path(name)
+            )
+            if blob is None:
+                self.misses += 1
+                self._inc("cache.misses")
+                return None
+        self.hits += 1
+        self._inc("cache.hits")
+        return blob
 
     def load_raw_path(self, key: str) -> Optional[Path]:
         """Path of a verified raw entry, or ``None`` on a miss.

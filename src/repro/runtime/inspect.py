@@ -88,7 +88,7 @@ def load_trace(path: Union[str, Path]) -> TraceView:
         path = path / "trace.jsonl"
     header: Dict[str, Any] = {}
     spans: List[Dict[str, Any]] = []
-    with path.open() as handle:
+    with path.open(encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if not line:
@@ -252,10 +252,10 @@ def load_run(
     run = RunArtifacts(path=path)
     manifest_path = resolve("manifest")
     if manifest_path.exists():
-        run.manifest = json.loads(manifest_path.read_text())
+        run.manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
     metrics_path = resolve("metrics")
     if metrics_path.exists():
-        run.metrics = json.loads(metrics_path.read_text())
+        run.metrics = json.loads(metrics_path.read_text(encoding="utf-8"))
     trace_path = resolve("trace")
     if trace_path.exists():
         run.trace = load_trace(trace_path)

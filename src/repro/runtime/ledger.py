@@ -283,7 +283,7 @@ def load_ledger(path: Union[str, Path]) -> Dict[str, Any]:
     path = Path(path)
     if path.is_dir():
         path = path / "ledger.json"
-    document = json.loads(path.read_text())
+    document = json.loads(path.read_text(encoding="utf-8"))
     if document.get("format") != LEDGER_FORMAT:
         raise ValueError(f"{path} is not a {LEDGER_FORMAT} document")
     return document

@@ -86,7 +86,7 @@ def load_runs(index_path: Union[str, Path]) -> List[Dict[str, Any]]:
     if not index_path.exists():
         return []
     entries: List[Dict[str, Any]] = []
-    with index_path.open() as handle:
+    with index_path.open(encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if not line:

@@ -1,0 +1,259 @@
+"""Stdlib-asyncio HTTP/JSON front end over a :class:`StoreIndex`.
+
+A deliberately small HTTP/1.1 server — request-line + header parsing,
+keep-alive, ``Content-Length``-framed JSON responses — with no
+dependencies beyond ``asyncio``.  Routes:
+
+===================================  =====================================
+``GET /healthz``                     liveness probe
+``GET /snapshot``                    snapshot identity (manifest digest)
+``GET /asn/<n>/lives``               both lifetime datasets of one ASN
+``GET /asn/<n>/taxonomy``            §5 categories of one ASN
+``GET /asn/<n>/as-of/<YYYY-MM-DD>``  the ASN's state on one day
+``GET /range/<lo>-<hi>``             per-ASN summaries over an ASN range
+``GET /range/<lo>-<hi>/as-of/<d>``   allocated/active ASNs on one day
+===================================  =====================================
+
+Range routes accept ``?limit=N`` (capped at
+:data:`~repro.serve.index.DEFAULT_RANGE_LIMIT`).  Unknown ASNs are 404,
+malformed paths 400, every error body is JSON.  Request counts and
+latency land in the metrics registry (``serve.http.*``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from time import perf_counter
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from ..runtime.observability import MetricsRegistry, resolve_metrics
+from ..timeline.dates import from_iso
+from .index import DEFAULT_RANGE_LIMIT, StoreIndex
+
+__all__ = ["LifetimesServer", "MAX_REQUEST_LINE", "MAX_HEADER_LINES"]
+
+#: Request-line / header hard limits (a query API needs no more).
+MAX_REQUEST_LINE = 4096
+MAX_HEADER_LINES = 64
+
+_SERVER_NAME = "repro-serve"
+
+
+class _BadRequest(Exception):
+    """Raised by route parsing; rendered as a 400 JSON body."""
+
+
+def _parse_int(text: str, what: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise _BadRequest(f"{what} must be an integer") from None
+    if value < 0:
+        raise _BadRequest(f"{what} must be non-negative")
+    return value
+
+
+def _parse_day(text: str):
+    try:
+        return from_iso(unquote(text))
+    except ValueError:
+        raise _BadRequest("dates must be YYYY-MM-DD") from None
+
+
+def _parse_range(text: str) -> Tuple[int, int]:
+    lo, sep, hi = text.partition("-")
+    if not sep:
+        raise _BadRequest("ranges are <lo>-<hi>")
+    lo_n = _parse_int(lo, "range lo")
+    hi_n = _parse_int(hi, "range hi")
+    if hi_n < lo_n:
+        raise _BadRequest("range hi precedes lo")
+    return lo_n, hi_n
+
+
+class LifetimesServer:
+    """Serve one immutable :class:`StoreIndex` snapshot over HTTP."""
+
+    def __init__(
+        self,
+        index: StoreIndex,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.index = index
+        self.host = host
+        self.port = port
+        self.metrics = resolve_metrics(metrics)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._client, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -------------------------------------------
+
+    async def _client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._serve_client(reader, writer)
+        except asyncio.CancelledError:
+            pass  # event-loop shutdown cancelled this connection mid-close
+
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, keep_alive = request
+                t0 = perf_counter()
+                status, document = self._respond(method, target)
+                self.metrics.observe(
+                    "serve.http.latency_us", (perf_counter() - t0) * 1e6
+                )
+                self.metrics.inc("serve.http.requests")
+                if status >= 400:
+                    self.metrics.inc("serve.http.errors")
+                body = (
+                    json.dumps(document, sort_keys=True, separators=(",", ":"))
+                    + "\n"
+                ).encode("utf-8")
+                writer.write(self._head(status, len(body), keep_alive) + body)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bool]]:
+        """One request head → (method, target, keep_alive), EOF → None."""
+        try:
+            line = await reader.readline()
+        except (ValueError, ConnectionError):
+            return None
+        if not line:
+            return None
+        if len(line) > MAX_REQUEST_LINE:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            return None
+        method, target, version = parts
+        keep_alive = version.upper() != "HTTP/1.0"
+        for _ in range(MAX_HEADER_LINES):
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "connection":
+                keep_alive = value.strip().lower() != "close"
+        else:
+            return None  # header flood: drop the connection
+        return method, target, keep_alive
+
+    @staticmethod
+    def _head(status: int, length: int, keep_alive: bool) -> bytes:
+        reason = {
+            200: "OK",
+            400: "Bad Request",
+            404: "Not Found",
+            405: "Method Not Allowed",
+        }.get(status, "Error")
+        connection = "keep-alive" if keep_alive else "close"
+        return (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Server: {_SERVER_NAME}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {length}\r\n"
+            f"Connection: {connection}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+
+    # -- routing -------------------------------------------------------
+
+    def _respond(self, method: str, target: str) -> Tuple[int, Dict[str, Any]]:
+        if method != "GET":
+            return 405, {"error": "only GET is supported"}
+        url = urlsplit(target)
+        query = parse_qs(url.query)
+        try:
+            return self._route(url.path, query)
+        except _BadRequest as exc:
+            return 400, {"error": str(exc)}
+
+    def _route(
+        self, path: str, query: Dict[str, list]
+    ) -> Tuple[int, Dict[str, Any]]:
+        limit = DEFAULT_RANGE_LIMIT
+        if "limit" in query:
+            limit = _parse_int(query["limit"][-1], "limit")
+        segments = [s for s in path.split("/") if s]
+        if path == "/healthz":
+            return 200, {"status": "ok", "snapshot": self.index.digest}
+        if path == "/snapshot":
+            return 200, self.index.snapshot()
+        if len(segments) >= 2 and segments[0] == "asn":
+            asn = _parse_int(segments[1], "asn")
+            if len(segments) == 3 and segments[2] == "lives":
+                return self._found(self.index.lives(asn))
+            if len(segments) == 3 and segments[2] == "taxonomy":
+                return self._found(self.index.taxonomy(asn))
+            if len(segments) == 4 and segments[2] == "as-of":
+                return self._found(self.index.as_of(asn, _parse_day(segments[3])))
+            raise _BadRequest(
+                "asn routes: /asn/<n>/lives, /asn/<n>/taxonomy, "
+                "/asn/<n>/as-of/<date>"
+            )
+        if len(segments) >= 2 and segments[0] == "range":
+            lo, hi = _parse_range(segments[1])
+            if len(segments) == 2:
+                return 200, self.index.range_summary(lo, hi, limit=limit)
+            if len(segments) == 4 and segments[2] == "as-of":
+                return 200, self.index.range_as_of(
+                    lo, hi, _parse_day(segments[3]), limit=limit
+                )
+            raise _BadRequest(
+                "range routes: /range/<lo>-<hi>, /range/<lo>-<hi>/as-of/<date>"
+            )
+        return 404, {"error": f"no route for {path}"}
+
+    @staticmethod
+    def _found(document: Optional[Dict[str, Any]]) -> Tuple[int, Dict[str, Any]]:
+        if document is None:
+            return 404, {"error": "unknown asn"}
+        return 200, document

@@ -1,0 +1,219 @@
+"""Deterministic load generator for the serve HTTP layer.
+
+Builds a reproducible query plan — zipf-skewed ASN popularity over the
+store's universe, mixed across the four query shapes — and replays it
+against a running server from asyncio client workers holding
+keep-alive connections.  The report carries the latency distribution
+(p50/p99 in microseconds) and sustained throughput, which is what the
+perf gate pins.
+
+The plan is a pure function of ``(asns, meta, count, seed, skew)``:
+no wall clock, no global RNG — two runs against byte-identical stores
+issue byte-identical request streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..asn.numbers import ASN
+from ..timeline.dates import to_iso
+from .store import ServeStoreError, StoreMeta
+
+__all__ = ["QueryPlan", "LoadReport", "plan_queries", "run_load", "run_load_sync"]
+
+#: Default query mix: the point lookup dominates (it is what a
+#: lifetimes service exists for), with taxonomy, as-of and range
+#: queries keeping the other code paths warm.
+DEFAULT_MIX: Tuple[Tuple[str, float], ...] = (
+    ("lives", 0.60),
+    ("taxonomy", 0.15),
+    ("as_of", 0.15),
+    ("range", 0.10),
+)
+
+DEFAULT_SKEW = 1.1
+DEFAULT_CONCURRENCY = 16
+
+#: Query-miss dial: one in this many point lookups targets an ASN just
+#: past the universe, exercising the 404 path.
+MISS_EVERY = 50
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A reproducible request stream (paths only; all GETs)."""
+
+    paths: Tuple[str, ...]
+    seed: int
+    skew: float
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured."""
+
+    queries: int
+    errors: int
+    seconds: float
+    qps: float
+    p50_us: float
+    p99_us: float
+    concurrency: int
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "queries": self.queries,
+            "errors": self.errors,
+            "seconds": round(self.seconds, 6),
+            "qps": round(self.qps, 2),
+            "p50_us": round(self.p50_us, 1),
+            "p99_us": round(self.p99_us, 1),
+            "concurrency": self.concurrency,
+        }
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over a pre-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def plan_queries(
+    asns: Sequence[ASN],
+    meta: StoreMeta,
+    count: int,
+    *,
+    seed: int = 0,
+    skew: float = DEFAULT_SKEW,
+    mix: Sequence[Tuple[str, float]] = DEFAULT_MIX,
+) -> QueryPlan:
+    """A ``count``-query plan over the store's ASN universe.
+
+    ASN popularity is zipf-like: the universe is shuffled once (so the
+    hot set is not simply the lowest ASNs), then ASN at popularity
+    rank ``r`` is drawn with weight ``1 / r**skew``.
+    """
+    if not asns:
+        raise ServeStoreError("cannot plan load against an empty store")
+    rng = random.Random(seed)
+    ranked = list(asns)
+    rng.shuffle(ranked)
+    weights = [1.0 / (rank + 1) ** skew for rank in range(len(ranked))]
+    kinds = [kind for kind, _w in mix]
+    kind_weights = [w for _kind, w in mix]
+    max_asn = max(asns)
+    span_days = max(1, meta.end - meta.start)
+
+    chosen_asns = rng.choices(ranked, weights=weights, k=count)
+    chosen_kinds = rng.choices(kinds, weights=kind_weights, k=count)
+    paths: List[str] = []
+    for i, (asn, kind) in enumerate(zip(chosen_asns, chosen_kinds)):
+        if kind == "lives":
+            if i % MISS_EVERY == MISS_EVERY - 1:
+                asn = max_asn + 1 + rng.randrange(1000)
+            paths.append(f"/asn/{asn}/lives")
+        elif kind == "taxonomy":
+            paths.append(f"/asn/{asn}/taxonomy")
+        elif kind == "as_of":
+            day = meta.start + rng.randrange(span_days + 1)
+            paths.append(f"/asn/{asn}/as-of/{to_iso(day)}")
+        else:
+            width = rng.randrange(1, 2000)
+            paths.append(f"/range/{asn}-{asn + width}?limit=100")
+    return QueryPlan(paths=tuple(paths), seed=seed, skew=skew)
+
+
+async def _worker(
+    host: str,
+    port: int,
+    paths: Sequence[str],
+    latencies: List[float],
+) -> int:
+    """Replay ``paths`` over one keep-alive connection; returns errors."""
+    errors = 0
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for path in paths:
+            t0 = perf_counter()
+            writer.write(
+                f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode("latin-1")
+            )
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.split()
+            status = int(parts[1]) if len(parts) >= 2 else 0
+            length = 0
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+                name, _sep, value = header.partition(b":")
+                if name.strip().lower() == b"content-length":
+                    length = int(value.strip())
+            if length:
+                await reader.readexactly(length)
+            latencies.append((perf_counter() - t0) * 1e6)
+            # 404s are planned (the miss dial); anything else >= 400 is not.
+            if status != 200 and status != 404:
+                errors += 1
+    except (ConnectionError, asyncio.IncompleteReadError, ValueError):
+        errors += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+    return errors
+
+
+async def run_load(
+    host: str,
+    port: int,
+    plan: QueryPlan,
+    *,
+    concurrency: int = DEFAULT_CONCURRENCY,
+) -> LoadReport:
+    """Replay a plan with ``concurrency`` keep-alive connections."""
+    concurrency = max(1, min(concurrency, len(plan.paths) or 1))
+    latencies: List[float] = []
+    slices = [plan.paths[i::concurrency] for i in range(concurrency)]
+    t0 = perf_counter()
+    errors = sum(
+        await asyncio.gather(
+            *(_worker(host, port, chunk, latencies) for chunk in slices if chunk)
+        )
+    )
+    seconds = perf_counter() - t0
+    latencies.sort()
+    done = len(latencies)
+    return LoadReport(
+        queries=done,
+        errors=errors,
+        seconds=seconds,
+        qps=done / seconds if seconds > 0 else 0.0,
+        p50_us=_percentile(latencies, 0.50),
+        p99_us=_percentile(latencies, 0.99),
+        concurrency=concurrency,
+    )
+
+
+def run_load_sync(
+    host: str,
+    port: int,
+    plan: QueryPlan,
+    *,
+    concurrency: int = DEFAULT_CONCURRENCY,
+) -> LoadReport:
+    """:func:`run_load` for synchronous callers (CLI, benchmarks)."""
+    return asyncio.run(run_load(host, port, plan, concurrency=concurrency))

@@ -262,13 +262,45 @@ class IntervalSet:
 
     # -- algebra -------------------------------------------------------
 
+    @staticmethod
+    def _merge_sorted(a: Sequence[Interval], b: Sequence[Interval]) -> List[Interval]:
+        """Linear merge of two already-canonical interval lists.
+
+        Both inputs are sorted, disjoint and adjacency-merged (the
+        class invariant), so a two-pointer walk with the same
+        ``touches`` coalescing rule as :meth:`_normalize` produces the
+        canonical union in O(n + m) — no re-sort.  The serve append
+        path unions per-day activity sets repeatedly, which made the
+        old concatenate-and-normalize union an O(n log n) hot spot.
+        """
+        out: List[Interval] = []
+        i = j = 0
+        while i < len(a) or j < len(b):
+            if j >= len(b) or (i < len(a) and a[i].start <= b[j].start):
+                iv = a[i]
+                i += 1
+            else:
+                iv = b[j]
+                j += 1
+            if out and out[-1].touches(iv):
+                last = out[-1]
+                if iv.end > last.end:
+                    out[-1] = Interval(last.start, iv.end)
+            else:
+                out.append(iv)
+        return out
+
     def union(self, other: "IntervalSet") -> "IntervalSet":
-        """Days in either set."""
-        return IntervalSet(list(self._ivs) + list(other._ivs))
+        """Days in either set (linear merge of the two sorted lists)."""
+        result = IntervalSet()
+        result._ivs = self._merge_sorted(self._ivs, other._ivs)
+        return result
 
     def add(self, iv: Interval) -> "IntervalSet":
         """Return a new set with ``iv`` merged in."""
-        return IntervalSet(list(self._ivs) + [iv])
+        result = IntervalSet()
+        result._ivs = self._merge_sorted(self._ivs, [iv])
+        return result
 
     def intersection(self, other: "IntervalSet") -> "IntervalSet":
         """Days in both sets (linear merge of the two sorted lists)."""

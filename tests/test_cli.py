@@ -104,6 +104,57 @@ class TestCommands:
         manifest = json.loads((out / "run_manifest.json").read_text())
         assert json.loads(index[0])["digest"] == manifest["digest"]
 
+    def test_serve_build_append_bench_workflow(self, tmp_path, capsys):
+        full, inc = tmp_path / "full", tmp_path / "inc"
+        base = ["--scale", "0.006", "--seed", "3"]
+        rc = main(["serve-build", *base, "--out", str(full), "--window", "45"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "built store" in out and "snapshot" in out
+
+        rc = main(["serve-build", *base, "--out", str(inc),
+                   "--window", "43", "--end-back", "2"])
+        assert rc == 0
+        capsys.readouterr()
+        # append re-simulates the world from the manifest fingerprint
+        # alone — no --scale/--seed needed — and must converge on the
+        # full build's bytes
+        rc = main(["serve-append", "--store", str(inc), "--days", "2"])
+        assert rc == 0
+        assert "appended 2 day(s)" in capsys.readouterr().out
+        for path in sorted(full.iterdir()):
+            if path.name == "runs.jsonl":
+                continue  # registry histories legitimately differ
+            assert path.read_bytes() == (inc / path.name).read_bytes(), path.name
+
+        rc = main(["serve-bench", "--store", str(full),
+                   "--queries", "300", "--concurrency", "4",
+                   "--json-out", str(tmp_path / "bench.json")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "300 queries" in out
+        report = json.loads((tmp_path / "bench.json").read_text())
+        assert report["queries"] == 300 and report["errors"] == 0
+
+    def test_serve_bench_enforces_p99_bound(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        rc = main(["serve-build", "--scale", "0.006", "--seed", "3",
+                   "--out", str(store), "--window", "30"])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["serve-bench", "--store", str(store), "--queries", "200",
+                   "--assert-p99-ms", "0.000001"])
+        assert rc == 1
+        assert "exceeds" in capsys.readouterr().err
+
+    def test_serve_commands_fail_typed_on_missing_store(self, tmp_path, capsys):
+        rc = main(["serve-append", "--store", str(tmp_path), "--days", "1"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+        rc = main(["serve-bench", "--store", str(tmp_path)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_export_mirror(self, tmp_path, capsys):
         rc = main([
             "export-mirror", "--scale", "0.006", "--seed", "3",

@@ -1,0 +1,105 @@
+"""Dataset I/O edge cases: encoding, malformed records, atomicity.
+
+Complements the round-trip tests in ``test_lifetimes_bgp.py`` with the
+failure-shape coverage the satellite fixes pinned down: non-ASCII
+fields must survive regardless of the platform's locale encoding
+(every read/write pins ``encoding="utf-8"``), and a malformed record
+must be reported by *index*, not as a bare KeyError from the parser.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lifetimes.io import (
+    DatasetIOError,
+    dump_admin_dataset,
+    dump_bgp_dataset,
+    load_admin_dataset,
+    load_bgp_dataset,
+)
+from repro.lifetimes.records import AdminLifetime, BgpLifetime
+from repro.timeline.dates import from_iso
+
+D = from_iso("2010-01-01")
+
+
+def _admin(asn=100, registry="ripencc"):
+    return AdminLifetime(
+        asn=asn, start=D, end=D + 500, reg_date=D - 10,
+        registries=(registry,),
+    )
+
+
+class TestNonAscii:
+    def test_admin_roundtrip_with_non_ascii_registry(self, tmp_path):
+        path = tmp_path / "admin.json"
+        lives = {100: [_admin(registry="ripé-ncc-über")]}
+        assert dump_admin_dataset(lives, path) == 1
+        loaded = load_admin_dataset(path)
+        assert loaded[100][0].registry == "ripé-ncc-über"
+
+    def test_load_accepts_raw_utf8_on_disk(self, tmp_path):
+        # files written by other tools with ensure_ascii=False: the
+        # loader must decode them as UTF-8 independent of the locale
+        path = tmp_path / "admin.json"
+        rows = [{"ASN": 7, "registry": "lácnic", "startdate": "2010-01-01",
+                 "enddate": "2011-01-01", "regDate": "2009-12-31"}]
+        path.write_text(
+            json.dumps(rows, ensure_ascii=False, indent=1), encoding="utf-8"
+        )
+        assert load_admin_dataset(path)[7][0].registry == "lácnic"
+
+    def test_dump_is_utf8_readable_bytes(self, tmp_path):
+        path = tmp_path / "admin.json"
+        dump_admin_dataset({1: [_admin(asn=1, registry="ñic")]}, path)
+        path.read_bytes().decode("utf-8")  # must not raise
+
+
+class TestMalformedRecords:
+    def test_admin_reports_failing_record_index(self, tmp_path):
+        path = tmp_path / "admin.json"
+        good = {"ASN": 1, "registry": "arin", "startdate": "2010-01-01",
+                "enddate": "2011-01-01", "regDate": "2009-12-31"}
+        bad = dict(good, startdate="not-a-date")
+        path.write_text(json.dumps([good, bad]), encoding="utf-8")
+        with pytest.raises(DatasetIOError, match="record 1 is malformed"):
+            load_admin_dataset(path)
+
+    def test_bgp_reports_failing_record_index(self, tmp_path):
+        path = tmp_path / "op.json"
+        good = {"ASN": 1, "startdate": "2010-01-01", "enddate": "2011-01-01"}
+        path.write_text(
+            json.dumps([good, good, {"ASN": 2}]), encoding="utf-8"
+        )
+        with pytest.raises(DatasetIOError, match="record 2 is malformed"):
+            load_bgp_dataset(path)
+
+    def test_missing_key_names_the_file(self, tmp_path):
+        path = tmp_path / "weird name.json"
+        path.write_text(json.dumps([{"ASN": 1}]), encoding="utf-8")
+        with pytest.raises(DatasetIOError, match="weird name.json"):
+            load_admin_dataset(path)
+
+    def test_non_array_document_rejected(self, tmp_path):
+        path = tmp_path / "admin.json"
+        path.write_text(json.dumps({"not": "a list"}), encoding="utf-8")
+        with pytest.raises(DatasetIOError, match="JSON array"):
+            load_admin_dataset(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "admin.json"
+        path.write_text("[{", encoding="utf-8")
+        with pytest.raises(DatasetIOError, match="not valid JSON"):
+            load_admin_dataset(path)
+
+
+class TestAtomicity:
+    def test_dump_leaves_no_temp_files(self, tmp_path):
+        dump_bgp_dataset(
+            {1: [BgpLifetime(asn=1, start=D, end=D + 5)]},
+            tmp_path / "op.json",
+        )
+        assert [p.name for p in tmp_path.iterdir()] == ["op.json"]

@@ -200,6 +200,37 @@ def test_merge_gaps_preserves_days_and_bounds(days, max_gap):
     assert all(g > max_gap for g in merged.gap_lengths())
 
 
+#: Raw (possibly overlapping, unsorted) interval endpoint pairs — wider
+#: spans than day_sets, to exercise the union fast path's merge order.
+interval_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5000),
+        st.integers(min_value=0, max_value=60),
+    ).map(lambda p: Interval(p[0], p[0] + p[1])),
+    max_size=12,
+)
+
+
+@settings(max_examples=200)
+@given(interval_lists, interval_lists)
+def test_union_linear_merge_matches_normalized_construction(a_ivs, b_ivs):
+    # union() takes the two-pointer sorted-merge fast path; building one
+    # IntervalSet from the concatenated raw intervals takes the full
+    # sort-and-normalize path.  Canonical equality (same interval tuples,
+    # not just the same day membership) must hold between the two.
+    a, b = IntervalSet(a_ivs), IntervalSet(b_ivs)
+    assert list(a.union(b)) == list(IntervalSet(a_ivs + b_ivs))
+
+
+@settings(max_examples=200)
+@given(interval_lists, st.integers(min_value=0, max_value=5000),
+       st.integers(min_value=0, max_value=60))
+def test_add_matches_normalized_construction(ivs, start, length):
+    iv = Interval(start, start + length)
+    s = IntervalSet(ivs)
+    assert list(s.add(iv)) == list(IntervalSet(ivs + [iv]))
+
+
 @settings(max_examples=200)
 @given(day_sets)
 def test_gaps_are_complement_within_span(days):
