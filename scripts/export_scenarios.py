@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Regenerate the committed scenario files under ``examples/scenarios/``.
+
+The named scenario library (``repro.scenario.library``) is the source
+of truth; this script writes its JSON twins.  A unit test
+(``tests/test_scenario.py``) fails if the committed files drift from
+the library, so run this after editing the library:
+
+    PYTHONPATH=src python scripts/export_scenarios.py
+
+The golden taxonomy outputs next to them are produced by running each
+scenario, not by this script:
+
+    PYTHONPATH=src python -m repro.cli simulate --scenario NAME \
+        --out /tmp/run --taxonomy-out examples/scenarios/golden/NAME.json
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.scenario import NAMED_SCENARIOS, save_scenario  # noqa: E402
+
+
+def main() -> int:
+    out_dir = REPO_ROOT / "examples" / "scenarios"
+    for name, scenario in NAMED_SCENARIOS.items():
+        path = save_scenario(scenario, out_dir / f"{name}.json")
+        print(f"wrote {path.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,7 +5,16 @@ Subcommands mirror the paper's workflow (Fig. 1):
 ``simulate``
     Build a synthetic world, run defect injection + restoration +
     lifetime inference, export the two Listing-1 JSON datasets, and
-    print the joint-analysis report.
+    print the joint-analysis report.  ``--scenario NAME|PATH`` builds
+    the world from a declarative scenario (see :mod:`repro.scenario`)
+    instead of ``--scale``/``--seed``: the scenario's layers compile
+    to the world config, and the scenario fingerprint is folded into
+    the run manifest and the dataset cache key.  ``--taxonomy-out``
+    writes the §6 taxonomy counts as canonical JSON — the golden
+    artifact the CI scenario-matrix job byte-compares.
+``scenarios``
+    List the named scenarios of the library (``--json`` emits their
+    ``scenario/v1`` documents).
 ``analyze``
     Load previously exported datasets and re-run the joint analysis
     (taxonomy, utilization, squat detection).
@@ -115,6 +124,18 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--scale", type=float, default=0.02,
                           help="fraction of paper-scale volume (default 0.02)")
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--scenario", default=None, metavar="NAME|PATH",
+                          help="build the world from a declarative scenario "
+                          "instead of --scale/--seed: a named library "
+                          "scenario ('repro scenarios' lists them) or a "
+                          "scenario/v1 JSON file; the compiled config and "
+                          "the scenario fingerprint go into the run "
+                          "manifest and the cache key")
+    simulate.add_argument("--taxonomy-out", nargs="?", const="@out",
+                          default=None, metavar="PATH",
+                          help="write the §6 taxonomy counts as canonical "
+                          "JSON (the scenario-matrix golden artifact; "
+                          "default PATH: OUT/taxonomy.json)")
     simulate.add_argument("--out", type=Path, default=Path("."),
                           help="output directory for the JSON datasets")
     simulate.add_argument("--no-pitfalls", action="store_true",
@@ -211,6 +232,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "delegation-table/v1 rows (table engine only): "
                           "created on first run, memory-mapped zero-copy "
                           "on every later run")
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list the named scenarios of the library"
+    )
+    scenarios.add_argument("--json", action="store_true",
+                           help="emit the scenario/v1 documents as a JSON "
+                           "array instead of the text listing")
 
     analyze = sub.add_parser("analyze", help="joint analysis over exported datasets")
     analyze.add_argument("admin", type=Path, help="administrative dataset JSON")
@@ -390,12 +418,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     metrics_path = _artifact_path(args.metrics_out, args.out, "metrics.json")
     manifest_path = _artifact_path(args.manifest, args.out, "run_manifest.json")
     ledger_path = _artifact_path(args.ledger, args.out, "ledger.json")
+    taxonomy_path = _artifact_path(args.taxonomy_out, args.out, "taxonomy.json")
     if ledger_path is None and trace_path is not None:
         # --trace implies the ledger: the two artifacts describe the
         # same run and the CI closure check expects both
         ledger_path = args.out / "ledger.json"
 
-    config = WorldConfig(seed=args.seed, scale=args.scale)
+    scenario = None
+    scenario_key = None
+    if args.scenario is not None:
+        from .scenario import ScenarioError, resolve_scenario, scenario_fingerprint
+
+        try:
+            scenario = resolve_scenario(args.scenario)
+            config = scenario.compile()
+        except ScenarioError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        scenario_key = scenario_fingerprint(scenario)
+        print(f"scenario {scenario.name} ({scenario.digest()[:12]}): "
+              f"{len(scenario.layers)} layers -> scale {config.scale}, "
+              f"{config.topology_recipe} topology, seed {config.seed}")
+    else:
+        config = WorldConfig(seed=args.seed, scale=args.scale)
     metrics = get_metrics()
     metrics.clear()  # per-run snapshot semantics
     stats = PipelineStats(metrics=metrics)
@@ -416,6 +461,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             cache_verify=args.cache_verify, stats=stats,
             restoration_engine=args.restoration_engine,
             restoration_table=args.restoration_table,
+            scenario_key=scenario_key,
         )
         if args.bgp_engine == "interval":
             op_lives = bundle.op_lives
@@ -452,6 +498,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(render_report(joint, restoration=bundle.restoration_report))
     print(f"\nwrote {admin_path} ({n_admin} records)")
     print(f"wrote {op_path} ({n_op} records)")
+    if taxonomy_path is not None:
+        from .core.taxonomy import Category
+
+        taxonomy = joint.taxonomy
+        write_json_atomic(taxonomy_path, {
+            "format": "taxonomy/v1",
+            "scenario": scenario.name if scenario is not None else None,
+            "scenario_digest": (
+                scenario.digest() if scenario is not None else None
+            ),
+            "admin_counts": {
+                c.value: taxonomy.admin_counts.get(c, 0) for c in Category
+            },
+            "op_counts": {
+                c.value: taxonomy.op_counts.get(c, 0) for c in Category
+            },
+            "admin_lifetimes": joint.total_admin_lifetimes(),
+            "op_lifetimes": joint.total_op_lifetimes(),
+            "admin_asns": joint.total_admin_asns(),
+            "op_asns": joint.total_op_asns(),
+        })
+        print(f"wrote {taxonomy_path} (taxonomy counts)")
     if trace_path is not None:
         stats.tracer.write_jsonl(trace_path)
         print(f"wrote {trace_path} ({len(stats.tracer.spans) + 1} spans)")
@@ -471,6 +539,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         manifest = build_run_manifest(
             config=config,
             settings={
+                "scenario": (
+                    {
+                        "name": scenario.name,
+                        "digest": scenario.digest(),
+                        "fingerprint": scenario_key,
+                    }
+                    if scenario is not None else None
+                ),
                 "bgp_engine": args.bgp_engine,
                 "bgp_window": args.bgp_window,
                 "bgp_records": (
@@ -511,6 +587,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.profile:
         print()
         print(stats.render())
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    from .scenario import NAMED_SCENARIOS, scenario_to_dict
+
+    if args.json:
+        docs = [scenario_to_dict(s) for s in NAMED_SCENARIOS.values()]
+        print(json.dumps(docs, indent=2))
+        return 0
+    print(f"{len(NAMED_SCENARIOS)} named scenarios "
+          f"(run with: repro simulate --scenario NAME)\n")
+    for name, scenario in NAMED_SCENARIOS.items():
+        layers = ", ".join(layer.layer_name for layer in scenario.layers)
+        print(f"{name}  [{scenario.digest()[:12]}]")
+        print(f"  layers: {layers}")
+        print(f"  {scenario.description}")
+        print()
     return 0
 
 
@@ -836,6 +932,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "simulate": _cmd_simulate,
+    "scenarios": _cmd_scenarios,
     "analyze": _cmd_analyze,
     "export-mirror": _cmd_export_mirror,
     "squat-hunt": _cmd_squat_hunt,

@@ -1,0 +1,150 @@
+"""Scenario files: the ``scenario/v1`` JSON document format.
+
+A scenario file is declarative data, no code:
+
+.. code-block:: json
+
+    {
+      "format": "scenario/v1",
+      "name": "flat-ixp-heavy",
+      "description": "exchange-dominated flat Internet",
+      "seed": 0,
+      "layers": [
+        {"layer": "topology-recipe", "recipe": "ixp-heavy", "ixp_count": 6},
+        {"layer": "growth-schedule", "scale": 0.01}
+      ]
+    }
+
+Loading is strict in both directions: an unknown ``layer`` tag, an
+unknown field inside a layer, or an unknown top-level key raises
+:class:`~repro.scenario.layers.ScenarioError` naming the offender —
+the file-format counterpart of ``WorldConfig.from_dict``'s unknown-key
+rejection.  ``scenario_to_dict`` → ``scenario_from_dict`` round-trips
+losslessly (tuples survive the JSON list detour).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+from .layers import LAYER_TYPES, Layer, ScenarioError
+from .scenario import Scenario
+
+__all__ = [
+    "SCENARIO_FORMAT",
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "load_scenario",
+    "save_scenario",
+]
+
+SCENARIO_FORMAT = "scenario/v1"
+
+#: Layer fields whose values are (lo, hi) tuples in Python but lists
+#: on the wire.
+_TUPLE_FIELDS = frozenset({"hoarder_asns", "nir_block_size"})
+
+
+def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
+    """Reduce a scenario to its ``scenario/v1`` document."""
+    layers = []
+    for layer in scenario.layers:
+        doc: Dict[str, Any] = {"layer": layer.layer_name}
+        for name, value in sorted(layer.set_fields().items()):
+            if isinstance(value, tuple):
+                value = list(value)
+            doc[name] = value
+        layers.append(doc)
+    return {
+        "format": SCENARIO_FORMAT,
+        "name": scenario.name,
+        "description": scenario.description,
+        "seed": scenario.seed,
+        "layers": layers,
+    }
+
+
+def _layer_from_dict(doc: Mapping[str, Any], *, index: int) -> Layer:
+    if not isinstance(doc, Mapping):
+        raise ScenarioError(f"layer #{index} is not an object: {doc!r}")
+    kind = doc.get("layer")
+    layer_cls = LAYER_TYPES.get(kind)
+    if layer_cls is None:
+        known = ", ".join(sorted(LAYER_TYPES))
+        raise ScenarioError(
+            f"layer #{index}: unknown layer type {kind!r} "
+            f"(expected one of {known})"
+        )
+    known_fields = {f.name for f in dataclasses.fields(layer_cls)}
+    kwargs: Dict[str, Any] = {}
+    for key, value in doc.items():
+        if key == "layer":
+            continue
+        if key not in known_fields:
+            raise ScenarioError(
+                f"layer #{index} ({kind}): unknown field {key!r}"
+            )
+        if key in _TUPLE_FIELDS and isinstance(value, list):
+            value = tuple(value)
+        kwargs[key] = value
+    return layer_cls(**kwargs)
+
+
+def scenario_from_dict(doc: Mapping[str, Any]) -> Scenario:
+    """Parse a ``scenario/v1`` document (strict)."""
+    if not isinstance(doc, Mapping):
+        raise ScenarioError(f"scenario document is not an object: {doc!r}")
+    fmt = doc.get("format")
+    if fmt != SCENARIO_FORMAT:
+        raise ScenarioError(
+            f"unsupported scenario format {fmt!r} "
+            f"(expected {SCENARIO_FORMAT!r})"
+        )
+    allowed = {"format", "name", "description", "seed", "layers"}
+    unknown = sorted(set(doc) - allowed)
+    if unknown:
+        names = ", ".join(repr(k) for k in unknown)
+        raise ScenarioError(f"unknown scenario key(s): {names}")
+    layers_doc = doc.get("layers", [])
+    if not isinstance(layers_doc, (list, tuple)):
+        raise ScenarioError("scenario 'layers' must be a list")
+    layers = tuple(
+        _layer_from_dict(layer_doc, index=index)
+        for index, layer_doc in enumerate(layers_doc)
+    )
+    return Scenario(
+        name=doc.get("name", ""),
+        description=doc.get("description", ""),
+        seed=int(doc.get("seed", 0)),
+        layers=layers,
+    )
+
+
+def load_scenario(path: Union[str, Path]) -> Scenario:
+    """Read and parse one scenario file."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario file {path}: {exc}")
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        raise ScenarioError(f"scenario file {path} is not valid JSON: {exc}")
+    return scenario_from_dict(doc)
+
+
+def save_scenario(scenario: Scenario, path: Union[str, Path]) -> Path:
+    """Write one scenario file (canonical: sorted keys inside layers
+    come from :func:`scenario_to_dict`; 2-space indent; trailing
+    newline)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(scenario_to_dict(scenario), indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return path

@@ -1,0 +1,180 @@
+"""The named scenario library.
+
+Five worlds the ROADMAP calls for, each a few declarative lines, all
+runnable under the unchanged pipeline.  The JSON twins of these
+definitions live under ``examples/scenarios/`` (kept in sync by a
+test), and the CI scenario-matrix job runs every one of them against a
+committed golden taxonomy output.
+
+Scales are sized for CI: a full end-to-end run of any scenario stays
+in the tens of seconds, yet large enough that the taxonomy classes all
+populate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .layers import (
+    AnomalyCalendar,
+    EventCalendar,
+    GrowthSchedule,
+    RirPolicyMix,
+    ScenarioError,
+    TopologyRecipe,
+)
+from .scenario import Scenario
+
+__all__ = [
+    "NAMED_SCENARIOS",
+    "scenario_names",
+    "get_scenario",
+    "resolve_scenario",
+]
+
+
+def _regional_internet() -> Scenario:
+    """Growth concentrated in the young regions, island topology."""
+    return Scenario(
+        name="regional-internet",
+        description=(
+            "A regionalized Internet: allocation growth shifts to "
+            "APNIC/LACNIC/AfriNIC while the topology splits into four "
+            "loosely-peered regional islands — long inter-region paths, "
+            "thin cross-region visibility."
+        ),
+        seed=11,
+        layers=(
+            GrowthSchedule(scale=0.01),
+            TopologyRecipe(recipe="regional", tier1_count=3,
+                           regional_clusters=4, peering_prob=0.06),
+            RirPolicyMix(birth_rate_multiplier={
+                "apnic": 2.2, "lacnic": 1.9, "afrinic": 1.7,
+                "arin": 0.5, "ripencc": 0.7,
+            }),
+        ),
+    )
+
+
+def _flat_ixp_heavy() -> Scenario:
+    """Exchange-fabric connectivity instead of provider chains."""
+    return Scenario(
+        name="flat-ixp-heavy",
+        description=(
+            "A flat, exchange-dominated Internet: a thin transit core, "
+            "six IXPs, and dense lateral peering — the seed-emulator "
+            "default world, stress for the visibility rule."
+        ),
+        seed=12,
+        layers=(
+            GrowthSchedule(scale=0.01),
+            TopologyRecipe(recipe="ixp-heavy", ixp_count=6, tier1_count=4,
+                           transit_share=0.08, peering_prob=0.2),
+        ),
+    )
+
+
+def _thirty_two_bit_era() -> Scenario:
+    """The post-2009 window where 32-bit ASNs are the default."""
+    return Scenario(
+        name="32-bit-era",
+        description=(
+            "2009-2015 only: 32-bit numbers are the default everywhere, "
+            "failed 32-bit deployments (return + 16-bit retry, §6.3) "
+            "three times the baseline rate."
+        ),
+        seed=13,
+        layers=(
+            GrowthSchedule(start="2009-01-01", end="2015-06-30", scale=0.012),
+            RirPolicyMix(historical_allocations=12_000,
+                         failed_32bit_rate=0.075),
+            EventCalendar(median_start_delay=45),
+        ),
+    )
+
+
+def _mass_transfer() -> Scenario:
+    """A transfer-market world: ASNs change registries constantly."""
+    return Scenario(
+        name="mass-transfer",
+        description=(
+            "Transfer-market stress: triple the ERX volume and a 12x "
+            "ordinary inter-RIR transfer rate — the §3.1 step-v "
+            "restoration and the inter-RIR duplicate resolution carry "
+            "the load."
+        ),
+        seed=14,
+        layers=(
+            GrowthSchedule(scale=0.01, erx_transfers=15_000,
+                           inter_rir_transfers=4_000),
+            RirPolicyMix(sibling_probability=0.25),
+        ),
+    )
+
+
+def _hijack_storm() -> Scenario:
+    """Anomaly volumes an order of magnitude above the paper's."""
+    return Scenario(
+        name="hijack-storm",
+        description=(
+            "An anomaly storm: 10x squatting/fat-finger/leak volumes "
+            "plus elevated dangling and ghost-burst rates — the §6 "
+            "detectors and the outside-delegation taxonomy class under "
+            "fire."
+        ),
+        seed=15,
+        layers=(
+            GrowthSchedule(scale=0.01),
+            AnomalyCalendar(dormant_squats=600, post_dealloc_squats=120,
+                            fat_finger_prepends=900, fat_finger_digits=350,
+                            internal_leaks=150, noise_origins=3_000),
+            EventCalendar(dangling_rate=0.15, ghost_burst_rate=0.05),
+        ),
+    )
+
+
+#: Name → scenario, in presentation order.
+NAMED_SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        _regional_internet(),
+        _flat_ixp_heavy(),
+        _thirty_two_bit_era(),
+        _mass_transfer(),
+        _hijack_storm(),
+    )
+}
+
+
+def scenario_names() -> List[str]:
+    """The named scenarios, in presentation order."""
+    return list(NAMED_SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a named scenario up (typed error on unknowns)."""
+    try:
+        return NAMED_SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise ScenarioError(
+            f"unknown scenario {name!r} (named scenarios: {known})"
+        ) from None
+
+
+def resolve_scenario(ref: Union[str, Path]) -> Scenario:
+    """A name from the library, or a path to a ``scenario/v1`` file."""
+    from .io import load_scenario
+
+    ref_str = str(ref)
+    if ref_str in NAMED_SCENARIOS:
+        return NAMED_SCENARIOS[ref_str]
+    path = Path(ref)
+    if path.exists():
+        return load_scenario(path)
+    known = ", ".join(scenario_names())
+    raise ScenarioError(
+        f"{ref_str!r} is neither a named scenario nor a scenario file "
+        f"(named scenarios: {known})"
+    )

@@ -566,23 +566,20 @@ def derive_op_lives(
 def config_from_fingerprint(doc: Any) -> Any:
     """Rebuild a :class:`WorldConfig` from its manifest fingerprint.
 
-    The fingerprint is JSON (tuples flattened to lists); dataclass
-    fields whose values arrive as lists are coerced back to tuples.
-    Used by ``serve-append`` to re-simulate the store's exact world.
+    The fingerprint is JSON (tuples flattened to lists; the strict
+    ``from_dict`` coerces them back).  Unknown keys are a hard error —
+    a manifest written by a different code version must not silently
+    re-simulate a *different* world.  Used by ``serve-append`` to
+    re-simulate the store's exact world.
     """
-    from ..simulation.config import WorldConfig
+    from ..simulation.config import UnknownConfigKeyError, WorldConfig
 
     if not isinstance(doc, Mapping) or doc.get("__class__") != "WorldConfig":
         raise ServeStoreError("manifest config is not a WorldConfig fingerprint")
-    kwargs: Dict[str, Any] = {}
-    for f in dataclasses.fields(WorldConfig):
-        if f.name not in doc:
-            continue
-        value = doc[f.name]
-        if isinstance(value, list):
-            value = tuple(value)
-        kwargs[f.name] = value
-    config = WorldConfig(**kwargs)
+    try:
+        config = WorldConfig.from_dict(doc)
+    except UnknownConfigKeyError as exc:
+        raise ServeStoreError(f"manifest config is not reconstructible: {exc}")
     if cache_key(config=config) != cache_key(config=doc):
         raise ServeStoreError("reconstructed config does not match fingerprint")
     return config

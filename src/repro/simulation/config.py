@@ -10,12 +10,32 @@ integration tests (seconds), :func:`bench` for the benchmark harness
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
-from typing import Dict, Tuple
+from typing import Any, Dict, Mapping, Tuple
 
 from ..timeline.dates import Day, from_iso
 
-__all__ = ["WorldConfig", "tiny", "bench"]
+__all__ = ["UnknownConfigKeyError", "WorldConfig", "tiny", "bench"]
+
+#: Topology construction recipes understood by the world simulator
+#: (see :mod:`repro.bgp.topology`).
+TOPOLOGY_RECIPES = ("transit-hierarchy", "ixp-heavy", "regional")
+
+
+class UnknownConfigKeyError(TypeError):
+    """A mapping handed to :meth:`WorldConfig.from_dict` carried keys
+    that are not ``WorldConfig`` fields.
+
+    Scenario files and manifest fingerprints are the usual sources;
+    silently dropping their unknown keys would turn typos into
+    mysteriously-default worlds, so the error names every bad key.
+    """
+
+    def __init__(self, keys: Tuple[str, ...]) -> None:
+        self.keys = tuple(sorted(keys))
+        names = ", ".join(repr(k) for k in self.keys)
+        super().__init__(f"unknown WorldConfig key(s): {names}")
 
 
 @dataclass(frozen=True)
@@ -116,6 +136,32 @@ class WorldConfig:
     ris_collectors: int = 3
     peers_per_collector: int = 6
 
+    # -- topology recipe -----------------------------------------------------
+    #: How the AS graph is wired (see ``repro.bgp.topology``):
+    #: ``transit-hierarchy`` is the classic three-tier Internet,
+    #: ``ixp-heavy`` a flat exchange-dominated mesh, ``regional`` a set
+    #: of loosely-interconnected regional islands.
+    topology_recipe: str = "transit-hierarchy"
+    #: Tier-1 clique size (``transit-hierarchy``/``ixp-heavy``) or
+    #: hub count per region (``regional``).
+    tier1_count: int = 8
+    #: Fraction of ASes acting as mid-tier transit providers.
+    transit_share: float = 0.12
+    #: Lateral peering probability between transits / IXP co-members.
+    peering_prob: float = 0.08
+    #: Probability a stub multi-homes to a second provider.
+    stub_extra_provider_prob: float = 0.35
+    #: Internet exchanges in the ``ixp-heavy`` recipe.
+    ixp_count: int = 4
+    #: Regional islands in the ``regional`` recipe.
+    regional_clusters: int = 4
+
+    # -- regional growth -----------------------------------------------------
+    #: Per-registry multipliers on the paper-shaped daily birth rates
+    #: (missing registries default to 1.0) — the lever for regional
+    #: scenarios that concentrate growth in one part of the world.
+    birth_rate_multiplier: Dict[str, float] = field(default_factory=dict)
+
     def scaled(self, value: float) -> int:
         """Apply the scale factor, keeping at least 1 for positive input."""
         if value <= 0:
@@ -130,6 +176,54 @@ class WorldConfig:
             raise ValueError("end_day must follow start_day")
         if not 0 < self.scale <= 1.0:
             raise ValueError("scale must be in (0, 1]")
+        if self.topology_recipe not in TOPOLOGY_RECIPES:
+            raise ValueError(
+                f"unknown topology recipe {self.topology_recipe!r} "
+                f"(expected one of {', '.join(TOPOLOGY_RECIPES)})"
+            )
+        if self.tier1_count < 1:
+            raise ValueError("tier1_count must be positive")
+        if self.ixp_count < 1:
+            raise ValueError("ixp_count must be positive")
+        if self.regional_clusters < 1:
+            raise ValueError("regional_clusters must be positive")
+        if not 0.0 < self.transit_share <= 1.0:
+            raise ValueError("transit_share must be in (0, 1]")
+        for rate in self.birth_rate_multiplier.values():
+            if rate < 0:
+                raise ValueError("birth_rate_multiplier values must be >= 0")
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "WorldConfig":
+        """Build a config from a mapping, rejecting unknown keys.
+
+        This is the one sanctioned dict → :class:`WorldConfig` path:
+        scenario compilation and manifest-fingerprint reconstruction
+        both go through it.  A ``__class__`` marker (as emitted by the
+        cache fingerprinter) is accepted when it names this class;
+        every other unexpected key raises
+        :class:`UnknownConfigKeyError` naming the offenders.  List
+        values destined for tuple-typed fields are coerced back, so
+        JSON round-trips are lossless.
+        """
+        known = {f.name: f for f in dataclasses.fields(cls)}
+        tuple_fields = {"hoarder_asns", "nir_block_size"}
+        kwargs: Dict[str, Any] = {}
+        unknown = []
+        for key, value in mapping.items():
+            if key == "__class__":
+                if value != cls.__name__:
+                    raise UnknownConfigKeyError((f"__class__={value!r}",))
+                continue
+            if key not in known:
+                unknown.append(key)
+                continue
+            if key in tuple_fields and isinstance(value, list):
+                value = tuple(value)
+            kwargs[key] = value
+        if unknown:
+            raise UnknownConfigKeyError(tuple(unknown))
+        return cls(**kwargs)
 
 
 def tiny(seed: int = 0) -> WorldConfig:

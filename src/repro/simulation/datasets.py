@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from ..asn.numbers import ASN
 from ..core.joint import JointAnalysis
@@ -153,8 +153,15 @@ def _bundle_cache_key(
     pitfall_config: Optional[PitfallConfig],
     timeout: int,
     min_peers: int,
+    scenario_key: Any = None,
 ) -> str:
-    """The content address of one bundle: every input that shapes it."""
+    """The content address of one bundle: every input that shapes it.
+
+    ``scenario_key`` is the compiled scenario's fingerprint (``None``
+    for plain-config runs): two different scenarios never share an
+    entry even if they compile to the same config, and repeat runs of
+    one scenario always hit.
+    """
     return cache.key_for(
         artifact="dataset-bundle",
         config=config,
@@ -166,6 +173,7 @@ def _bundle_cache_key(
         ),
         timeout=timeout,
         min_peers=min_peers,
+        scenario=scenario_key,
     )
 
 
@@ -183,6 +191,7 @@ def build_datasets(
     stats: Optional[PipelineStats] = None,
     restoration_engine: str = "table",
     restoration_table: Union[str, Path, None] = None,
+    scenario_key: Any = None,
 ) -> DatasetBundle:
     """Run the full pipeline for one world configuration.
 
@@ -222,6 +231,10 @@ def build_datasets(
     restoration_table:
         Optional container file path handed to the table engine
         (reused when present, written on a cold encode).
+    scenario_key:
+        Fingerprint of the scenario this config was compiled from
+        (see :mod:`repro.scenario`), folded into the bundle cache key;
+        ``None`` for plain-config runs.
     """
     if config is None:
         config = tiny()
@@ -238,6 +251,7 @@ def build_datasets(
             pitfall_config=pitfall_config,
             timeout=timeout,
             min_peers=min_peers,
+            scenario_key=scenario_key,
         )
         with stats.stage("cache:lookup", component="cache") as timing:
             artifact = cache.load(key)

@@ -23,7 +23,7 @@ from ..asn.numbers import ASN, digit_count
 from ..bgp.anomalies import AnomalyEvent
 from ..bgp.collector import Collector, build_collectors
 from ..bgp.stream import Announcement
-from ..bgp.topology import AsTopology, generate_topology
+from ..bgp.topology import AsTopology, build_topology
 from ..lifetimes.bgp import OperationalActivity
 from ..rir.model import RIR_NAMES
 from ..rir.pitfalls import TransferRecord
@@ -390,6 +390,7 @@ class WorldSimulator:
         config, rng = self.config, self.rng
         for name, registry in self.registries.items():
             lam = daily_birth_rate(name, day, config.scale)
+            lam *= config.birth_rate_multiplier.get(name, 1.0)
             for _ in range(poisson(rng, lam)):
                 if (
                     rng.random() < config.sibling_probability
@@ -613,7 +614,7 @@ class WorldSimulator:
     def _build_infrastructure(self):
         config = self.config
         asns = sorted({life.asn for life in self.lives})
-        topology = generate_topology(asns, seed=config.seed + 2)
+        topology = build_topology(asns, config, seed=config.seed + 2)
         collectors = build_collectors(
             topology,
             seed=config.seed + 3,
