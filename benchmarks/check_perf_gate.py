@@ -62,6 +62,10 @@ SERVE_GAUGES = {
     "serve.query.p50_us": "up",
     "serve.query.p99_us": "up",
     "serve.query.qps": "down",
+    # server-side p99 over the request window (head-read → drained),
+    # derived from the bucketed request_us histograms — the server's
+    # own account of the same load run, gated alongside the client's
+    "serve.http.p99_us": "up",
 }
 
 

@@ -68,6 +68,14 @@ def test_serve_query_layer(bundle, record_result, tmp_path_factory):
     metrics.gauge("serve.query.p99_us").set(report.p99_us)
     metrics.gauge("serve.query.qps").set(report.qps)
 
+    # the server's own account of the same run: aggregate the labeled
+    # per-route request_us bucket histograms into a server-side p99
+    from repro.serve.telemetry import request_quantiles
+
+    server_q = request_quantiles(metrics.snapshot())
+    assert server_q, "server recorded no request_us histograms"
+    metrics.gauge("serve.http.p99_us").set(server_q["p99_us"])
+
     build_seconds = sum(
         stage.seconds for stage in stats.stages
         if stage.name.startswith("serve:")
@@ -78,7 +86,8 @@ def test_serve_query_layer(bundle, record_result, tmp_path_factory):
         f"window {index.meta.end - index.meta.start + 1} days",
         f"  assemble+publish: {build_seconds:.3f}s",
         f"  throughput: {report.qps:,.0f} q/s at concurrency {CONCURRENCY}",
-        f"  latency: p50 {report.p50_us / 1000:.2f}ms, "
-        f"p99 {report.p99_us / 1000:.2f}ms",
+        f"  latency: client p50 {report.p50_us / 1000:.2f}ms, "
+        f"p99 {report.p99_us / 1000:.2f}ms; "
+        f"server p99 {server_q['p99_us'] / 1000:.2f}ms",
         f"  errors: {report.errors}",
     ]))

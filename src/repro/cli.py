@@ -30,10 +30,12 @@ Subcommands mirror the paper's workflow (Fig. 1):
     Consume exported run artifacts: ``inspect trace`` renders the span
     tree (critical path starred, optional flamegraph export),
     ``inspect ledger`` prints the record-conservation table (``--check``
-    fails on any non-conserving stage), and ``inspect diff`` compares
-    two runs — by directory or manifest-digest prefix via the
-    ``runs.jsonl`` index — attributing wall-time deltas to cache
-    misses, stage slowdowns, or fan-out imbalance.
+    fails on any non-conserving stage), ``inspect serve-log`` renders
+    per-route latency/error tables and top-ASN heat from a serve
+    access log, and ``inspect diff`` compares two runs — by directory
+    or manifest-digest prefix via the ``runs.jsonl`` index —
+    attributing wall-time deltas to cache misses, stage slowdowns, or
+    fan-out imbalance.
 ``serve-build``
     Build a read-optimized ``serve-store/v1`` snapshot (sharded
     lifetimes + taxonomy, see ``repro.serve``) from a simulated world.
@@ -43,10 +45,15 @@ Subcommands mirror the paper's workflow (Fig. 1):
     fingerprint, and the result is byte-identical to a full rebuild
     over the extended window.
 ``serve``
-    Answer point/as-of/range lifetime queries over HTTP from a store.
+    Answer point/as-of/range lifetime queries over HTTP from a store,
+    with live telemetry on ``/metrics`` (Prometheus text) and
+    ``/status`` and optional structured access logs
+    (``--access-log/--log-sample``).
 ``serve-bench``
     Replay a deterministic zipf-skewed query load against an
-    in-process server and report p50/p99/throughput.
+    in-process server and report p50/p99/throughput;
+    ``--metrics-check`` cross-checks the server's ``/metrics`` account
+    of the run against the client's.
 
 Runtime flags on ``simulate``: ``--jobs N`` fans the parallel pipeline
 stages out over N worker processes (bit-identical output),
@@ -302,6 +309,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exit non-zero if any stage fails "
                          "in == kept + dropped + routed")
 
+    islog = inspect_sub.add_parser(
+        "serve-log",
+        help="per-route latency/error tables and top-ASN heat from a "
+        "serve access log",
+    )
+    islog.add_argument("log", type=Path,
+                       help="JSONL access log written by 'repro serve "
+                       "--access-log' (rotated .1 backup is folded in "
+                       "automatically)")
+    islog.add_argument("--top", type=int, default=10, metavar="N",
+                       help="ASNs to show in the heat table (default 10)")
+
     idiff = inspect_sub.add_parser(
         "diff", help="compare two runs and attribute wall-time deltas"
     )
@@ -371,6 +390,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8480,
                        help="TCP port (0 picks a free one; default 8480)")
+    serve.add_argument("--access-log", type=Path, default=None, metavar="PATH",
+                       help="write structured JSONL access logs to PATH "
+                       "(rotated to PATH.1 by size)")
+    serve.add_argument("--log-sample", type=int, default=1, metavar="N",
+                       help="log every Nth request, deterministically "
+                       "(default 1: every request)")
+    serve.add_argument("--log-max-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="rotate the access log past this size "
+                       "(default 64 MiB)")
 
     sbench = sub.add_parser(
         "serve-bench",
@@ -388,6 +417,16 @@ def build_parser() -> argparse.ArgumentParser:
     sbench.add_argument("--json-out", type=Path, default=None,
                         metavar="PATH",
                         help="also write the report as JSON")
+    sbench.add_argument("--metrics-check", action="store_true",
+                        help="scrape /metrics before and after the run and "
+                        "fail unless the server's request counters equal "
+                        "queries sent (with --concurrency 1, also fail "
+                        "unless server-side p50/p99 agree with the "
+                        "client's within one histogram bucket)")
+    sbench.add_argument("--access-log", type=Path, default=None,
+                        metavar="PATH",
+                        help="write the in-process server's JSONL access "
+                        "log to PATH")
     return parser
 
 
@@ -715,6 +754,15 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             print(f"{len(document.get('stages', []))} stages conserve")
         return 0
 
+    if args.inspect_command == "serve-log":
+        try:
+            summary = insp.load_access_log(args.log)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(insp.render_serve_log(summary, top=args.top))
+        return 0
+
     # diff: each side is a run directory, or a manifest-digest prefix
     # resolved through the runs index
     def resolve(ref: str) -> insp.RunArtifacts:
@@ -858,18 +906,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve.http import LifetimesServer
     from .serve.index import StoreIndex
     from .serve.store import ServeStoreError
+    from .serve.telemetry import AccessLog, ServerTelemetry
 
     try:
         index = StoreIndex.open(args.store)
     except ServeStoreError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    server = LifetimesServer(index, host=args.host, port=args.port)
+    telemetry = None
+    if args.access_log is not None:
+        log_kwargs = {"sample": args.log_sample}
+        if args.log_max_bytes is not None:
+            log_kwargs["max_bytes"] = args.log_max_bytes
+        telemetry = ServerTelemetry(
+            access_log=AccessLog(args.access_log, **log_kwargs)
+        )
+    server = LifetimesServer(
+        index, host=args.host, port=args.port, telemetry=telemetry
+    )
 
     async def run() -> None:
         host, port = await server.start()
         print(f"serving {len(index)} ASNs (snapshot {index.digest[:12]}) "
               f"on http://{host}:{port}")
+        if args.access_log is not None:
+            print(f"access log: {args.access_log} "
+                  f"(1-in-{max(1, args.log_sample)} sampling)")
         await server.serve_forever()
 
     try:
@@ -885,8 +947,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     from .serve.http import LifetimesServer
     from .serve.index import StoreIndex
-    from .serve.loadgen import plan_queries, run_load
+    from .serve.loadgen import plan_queries, run_load, run_load_checked
     from .serve.store import ServeStoreError
+    from .serve.telemetry import AccessLog, ServerTelemetry
 
     try:
         index = StoreIndex.open(args.store)
@@ -898,22 +961,40 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    telemetry = None
+    if args.access_log is not None:
+        telemetry = ServerTelemetry(access_log=AccessLog(args.access_log))
+
     async def run():
-        server = LifetimesServer(index)
+        server = LifetimesServer(index, telemetry=telemetry)
         host, port = await server.start()
         try:
-            return await run_load(
-                host, port, plan, concurrency=args.concurrency
+            if args.metrics_check:
+                return await run_load_checked(
+                    host, port, plan, concurrency=args.concurrency
+                )
+            return (
+                await run_load(host, port, plan, concurrency=args.concurrency),
+                None,
             )
         finally:
             await server.close()
 
-    report = asyncio.run(run())
+    report, consistency = asyncio.run(run())
     doc = report.to_json_dict()
     doc["snapshot"] = index.digest
     print(f"{report.queries} queries in {report.seconds:.2f}s: "
           f"{report.qps:,.0f} q/s, p50 {report.p50_us / 1000:.2f}ms, "
           f"p99 {report.p99_us / 1000:.2f}ms, {report.errors} errors")
+    if consistency is not None:
+        doc["consistency"] = consistency
+        server_q = consistency["server"]
+        print(f"metrics check: server saw {consistency['server_requests']} "
+              f"of {consistency['sent']} queries; server-side "
+              f"p50 {server_q.get('p50_us', 0.0) / 1000:.2f}ms, "
+              f"p99 {server_q.get('p99_us', 0.0) / 1000:.2f}ms")
+    if args.access_log is not None:
+        print(f"access log: {args.access_log}")
     if args.json_out is not None:
         args.json_out.parent.mkdir(parents=True, exist_ok=True)
         args.json_out.write_text(
@@ -927,6 +1008,20 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"error: p99 {report.p99_us / 1000:.2f}ms exceeds the "
               f"{args.assert_p99_ms:.2f}ms bound", file=sys.stderr)
         return 1
+    if consistency is not None:
+        if not consistency["requests_match"]:
+            print(f"error: /metrics reports "
+                  f"{consistency['server_requests']} data-route requests, "
+                  f"client sent {consistency['sent']}", file=sys.stderr)
+            return 1
+        # Client latency includes event-loop queueing once requests pile
+        # up, so quantile agreement is only a contract at concurrency 1.
+        if args.concurrency == 1 and not consistency["quantiles_agree"]:
+            print(f"error: server-side quantiles {consistency['server']} "
+                  f"disagree with client-side {consistency['client']} "
+                  f"(bucket offsets {consistency['bucket_offsets']})",
+                  file=sys.stderr)
+            return 1
     return 0
 
 

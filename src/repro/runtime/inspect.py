@@ -22,6 +22,12 @@ surfaced as the ``repro inspect`` CLI family:
     The conservation table (rendering lives in
     :mod:`repro.runtime.ledger`; the CLI wires it up).
 
+``inspect serve-log``
+    Per-route latency/error tables and top-ASN heat from a serve
+    access log (``serve-access/v1`` JSONL, written by ``repro serve
+    --access-log``); sampled logs are scaled back up by their recorded
+    sampling factor.
+
 Everything here is read-only over JSON documents: no pipeline imports,
 so ``inspect`` works on artifacts from any run, any machine.
 """
@@ -47,6 +53,8 @@ __all__ = [
     "stage_cache_modes",
     "diff_runs",
     "render_diff",
+    "load_access_log",
+    "render_serve_log",
 ]
 
 
@@ -480,4 +488,131 @@ def render_diff(diff: Mapping[str, Any]) -> str:
         f"{diff.get('total_seconds_b', 0.0):>8.3f}s "
         f"{diff.get('total_delta', 0.0):>+8.3f}s"
     )
+    return "\n".join(lines)
+
+
+# -- serve access-log analysis ----------------------------------------------
+
+#: Format tag every ``serve-access/v1`` log line carries.
+ACCESS_LOG_FORMAT = "serve-access/v1"
+
+
+def _nearest_rank(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def load_access_log(path: Union[str, Path]) -> Dict[str, Any]:
+    """Aggregate a serve access log into a summary document.
+
+    Reads the rotated ``.1`` backup first when present (its lines are
+    older), then the live file.  Every line must be a
+    ``serve-access/v1`` record; a malformed line raises
+    :class:`ValueError` naming the file and line number.  Sampled logs
+    (``sample > 1``) report ``estimated_requests`` scaled back up by
+    each line's recorded sampling factor — deterministic sampling makes
+    that an exact expectation, not a guess.
+    """
+    path = Path(path)
+    sources = [p for p in (path.with_name(path.name + ".1"), path) if p.exists()]
+    if not sources:
+        raise OSError(f"no access log at {path}")
+
+    lines = 0
+    estimated = 0
+    t_min: Optional[float] = None
+    t_max: Optional[float] = None
+    samples: Set[int] = set()
+    routes: Dict[str, Dict[str, Any]] = {}
+    heat: Dict[int, int] = {}
+    for source in sources:
+        with source.open(encoding="utf-8") as handle:
+            for lineno, raw in enumerate(handle, start=1):
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    record = json.loads(raw)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{source}:{lineno}: not JSON ({exc.msg})"
+                    ) from None
+                if record.get("format") != ACCESS_LOG_FORMAT:
+                    raise ValueError(
+                        f"{source}:{lineno}: not a {ACCESS_LOG_FORMAT} record"
+                    )
+                lines += 1
+                sample = max(1, int(record.get("sample", 1)))
+                samples.add(sample)
+                estimated += sample
+                t = record.get("t")
+                if isinstance(t, (int, float)):
+                    t_min = t if t_min is None else min(t_min, t)
+                    t_max = t if t_max is None else max(t_max, t)
+                route = str(record.get("route", "unmatched"))
+                row = routes.setdefault(
+                    route,
+                    {"requests": 0, "errors": 0, "bytes": 0, "latencies": []},
+                )
+                row["requests"] += 1
+                if int(record.get("status", 0)) >= 400:
+                    row["errors"] += 1
+                row["bytes"] += int(record.get("bytes", 0))
+                row["latencies"].append(float(record.get("us", 0.0)))
+                asn = record.get("asn")
+                if asn is not None:
+                    heat[int(asn)] = heat.get(int(asn), 0) + 1
+
+    for row in routes.values():
+        latencies = sorted(row.pop("latencies"))
+        row["p50_us"] = round(_nearest_rank(latencies, 0.50), 1)
+        row["p90_us"] = round(_nearest_rank(latencies, 0.90), 1)
+        row["p99_us"] = round(_nearest_rank(latencies, 0.99), 1)
+        row["mean_us"] = round(
+            sum(latencies) / len(latencies) if latencies else 0.0, 1
+        )
+    return {
+        "lines": lines,
+        "estimated_requests": estimated,
+        "samples": sorted(samples),
+        "span_seconds": (
+            round(t_max - t_min, 3)
+            if t_min is not None and t_max is not None
+            else 0.0
+        ),
+        "routes": {route: routes[route] for route in sorted(routes)},
+        "asn_heat": sorted(heat.items(), key=lambda kv: (-kv[1], kv[0])),
+    }
+
+
+def render_serve_log(summary: Mapping[str, Any], *, top: int = 10) -> str:
+    """Human-readable report of a :func:`load_access_log` summary."""
+    samples = summary.get("samples") or [1]
+    sampled = (
+        ""
+        if samples == [1]
+        else f", 1-in-{'/'.join(str(s) for s in samples)} sampled "
+        f"(~{summary.get('estimated_requests', 0)} requests)"
+    )
+    lines = [
+        f"Access log: {summary.get('lines', 0)} lines over "
+        f"{summary.get('span_seconds', 0.0):.1f}s{sampled}",
+        f"{'route':<28} {'reqs':>7} {'errs':>6} "
+        f"{'p50':>9} {'p90':>9} {'p99':>9} {'mean':>9}",
+    ]
+    for route, row in summary.get("routes", {}).items():
+        lines.append(
+            f"{route:<28} {row.get('requests', 0):>7} {row.get('errors', 0):>6} "
+            f"{row.get('p50_us', 0.0) / 1000:>7.2f}ms "
+            f"{row.get('p90_us', 0.0) / 1000:>7.2f}ms "
+            f"{row.get('p99_us', 0.0) / 1000:>7.2f}ms "
+            f"{row.get('mean_us', 0.0) / 1000:>7.2f}ms"
+        )
+    heat = list(summary.get("asn_heat", []))[: max(0, top)]
+    if heat:
+        lines.append(f"top {len(heat)} ASNs by request count:")
+        for asn, count in heat:
+            lines.append(f"  AS{asn:<12} {count}")
     return "\n".join(lines)

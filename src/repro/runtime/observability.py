@@ -39,6 +39,7 @@ import os
 import subprocess
 import threading
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Union
@@ -51,6 +52,11 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "BUCKETS_PER_DECADE",
+    "HISTOGRAM_BUCKET_BOUNDS",
+    "OVERFLOW_BUCKET",
+    "bucket_index",
+    "quantile_from_buckets",
     "MetricsRegistry",
     "get_metrics",
     "reset_metrics",
@@ -457,16 +463,105 @@ class Gauge:
         self.value = value
 
 
-class Histogram:
-    """A streaming summary (count / sum / min / max) of observations."""
+#: Bucket resolution of every histogram: 4 log-scaled buckets per
+#: decade, a ~78% relative span per bucket (bound ratio 10^(1/4)), so a
+#: bucket-derived quantile estimate is off by at most half a bucket —
+#: a factor of 10^(1/8) ≈ 1.33 — from the true sample quantile.
+BUCKETS_PER_DECADE = 4
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+#: Shared upper bucket bounds (inclusive, ``le`` semantics), fixed for
+#: every histogram so worker snapshots merge by plain per-bucket
+#: addition.  The span 1e-4 .. 1e7 covers both unit conventions in use:
+#: stage walls in seconds (0.1ms .. months) and latencies in µs
+#: (sub-µs .. 10s).  Values above the last bound land in the overflow
+#: bucket; values at or below the first bound land in bucket 0.
+HISTOGRAM_BUCKET_BOUNDS: Sequence[float] = tuple(
+    10.0 ** (k / BUCKETS_PER_DECADE) for k in range(-16, 29)
+)
+
+#: Index of the +Inf overflow bucket (one past the bounded buckets).
+OVERFLOW_BUCKET = len(HISTOGRAM_BUCKET_BOUNDS)
+
+
+def bucket_index(value: float) -> int:
+    """The bucket a value falls in: first ``i`` with value <= bounds[i]."""
+    return bisect_left(HISTOGRAM_BUCKET_BOUNDS, value)
+
+
+def quantile_from_buckets(
+    buckets: Union[Sequence[int], Mapping[Any, int]],
+    q: float,
+    *,
+    count: Optional[int] = None,
+    minimum: Optional[float] = None,
+    maximum: Optional[float] = None,
+) -> float:
+    """Estimate the q-th quantile from per-bucket counts.
+
+    ``buckets`` is either the dense per-bucket count list or the sparse
+    ``{index: count}`` mapping a snapshot carries.  Nearest-rank over
+    the cumulative counts picks the bucket — using the same
+    ``round(q * (n - 1))`` zero-based rank convention as the load
+    generator's client-side percentiles, so the two planes agree on
+    which observation a quantile names — and the estimate is the
+    geometric midpoint of its bounds (the point minimising worst-case
+    relative error), clamped into ``[minimum, maximum]`` when the
+    histogram's observed extremes are known.
+    """
+    dense = [0] * (OVERFLOW_BUCKET + 1)
+    if isinstance(buckets, Mapping):
+        for key, n in buckets.items():
+            dense[int(key)] += int(n)
+    else:
+        for i, n in enumerate(buckets):
+            dense[i] += int(n)
+    total = int(count) if count is not None else sum(dense)
+    if total <= 0:
+        return 0.0
+    rank = max(0, min(total - 1, round(q * (total - 1)))) + 1
+    cum = 0
+    estimate = 0.0
+    for i, n in enumerate(dense):
+        cum += n
+        if cum >= rank:
+            if i >= OVERFLOW_BUCKET:
+                estimate = (
+                    maximum if maximum is not None
+                    else HISTOGRAM_BUCKET_BOUNDS[-1]
+                )
+            elif i == 0:
+                estimate = HISTOGRAM_BUCKET_BOUNDS[0]
+            else:
+                lo = HISTOGRAM_BUCKET_BOUNDS[i - 1]
+                hi = HISTOGRAM_BUCKET_BOUNDS[i]
+                estimate = (lo * hi) ** 0.5
+            break
+    if minimum is not None:
+        estimate = max(estimate, minimum)
+    if maximum is not None:
+        estimate = min(estimate, maximum)
+    return estimate
+
+
+class Histogram:
+    """A streaming summary of observations: count / sum / min / max plus
+    fixed log-scaled bucket counts (:data:`HISTOGRAM_BUCKET_BOUNDS`).
+
+    The bucket layout is process-invariant, so two histograms merge by
+    adding bucket counts — the property the worker-snapshot round trip
+    (:meth:`MetricsRegistry.merge_snapshot`) relies on — and server-side
+    quantiles (p50/p90/p99) derive from the counts via
+    :func:`quantile_from_buckets` with bounded relative error.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
+        self.buckets = [0] * (OVERFLOW_BUCKET + 1)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -476,16 +571,32 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        self.buckets[bucket_index(value)] += 1
 
-    def snapshot(self) -> Dict[str, float]:
+    def quantile(self, q: float) -> float:
+        """Bucket-derived quantile estimate (0.0 for an empty histogram)."""
+        return quantile_from_buckets(
+            self.buckets, q,
+            count=self.count,
+            minimum=self.minimum if self.count else None,
+            maximum=self.maximum if self.count else None,
+        )
+
+    def snapshot(self) -> Dict[str, Any]:
         if self.count == 0:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {
+                "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                "buckets": {},
+            }
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.minimum,
             "max": self.maximum,
             "mean": self.total / self.count,
+            "buckets": {
+                str(i): n for i, n in enumerate(self.buckets) if n
+            },
         }
 
 
@@ -560,6 +671,8 @@ class MetricsRegistry:
                 hist.total += float(summary.get("sum", 0.0))
                 hist.minimum = min(hist.minimum, float(summary.get("min", 0.0)))
                 hist.maximum = max(hist.maximum, float(summary.get("max", 0.0)))
+                for key, n in (summary.get("buckets") or {}).items():
+                    hist.buckets[int(key)] += int(n)
 
     def clear(self) -> None:
         """Drop every metric (in place, so shared references survive)."""

@@ -15,17 +15,37 @@ answers "what is AS 3333's story?" without a rebuild:
 * :mod:`repro.serve.append` — incremental day-append, byte-identical
   to a full rebuild over the extended window.
 * :mod:`repro.serve.http` — the stdlib-asyncio HTTP/JSON front end.
+* :mod:`repro.serve.telemetry` — live service telemetry: labeled
+  per-route metrics, Prometheus text exposition (``/metrics``),
+  structured JSONL access logs, and the sliding-window SLO tracker.
 * :mod:`repro.serve.loadgen` — the deterministic zipf-skewed load
-  generator feeding the perf gate.
+  generator feeding the perf gate, with an end-to-end ``/metrics``
+  consistency check (client-observed vs server-reported).
 
 CLI entry points: ``repro serve-build``, ``repro serve-append``,
 ``repro serve``, ``repro serve-bench``.
 """
 
 from .append import append_days
-from .http import LifetimesServer
+from .http import LifetimesServer, route_template
 from .index import DEFAULT_RANGE_LIMIT, StoreIndex
-from .loadgen import LoadReport, QueryPlan, plan_queries, run_load, run_load_sync
+from .loadgen import (
+    LoadReport,
+    QueryPlan,
+    plan_queries,
+    run_load,
+    run_load_checked,
+    run_load_sync,
+)
+from .telemetry import (
+    AccessLog,
+    ServerTelemetry,
+    SloWindow,
+    labeled,
+    parse_exposition,
+    render_exposition,
+    split_labeled,
+)
 from .store import (
     DEFAULT_SHARD_SIZE,
     INDEX_NAME,
@@ -45,13 +65,22 @@ from .store import (
 __all__ = [
     "append_days",
     "LifetimesServer",
+    "route_template",
     "DEFAULT_RANGE_LIMIT",
     "StoreIndex",
     "LoadReport",
     "QueryPlan",
     "plan_queries",
     "run_load",
+    "run_load_checked",
     "run_load_sync",
+    "AccessLog",
+    "ServerTelemetry",
+    "SloWindow",
+    "labeled",
+    "parse_exposition",
+    "render_exposition",
+    "split_labeled",
     "DEFAULT_SHARD_SIZE",
     "INDEX_NAME",
     "MANIFEST_NAME",

@@ -1,12 +1,14 @@
 """Stdlib-asyncio HTTP/JSON front end over a :class:`StoreIndex`.
 
 A deliberately small HTTP/1.1 server — request-line + header parsing,
-keep-alive, ``Content-Length``-framed JSON responses — with no
-dependencies beyond ``asyncio``.  Routes:
+keep-alive, ``Content-Length``-framed responses — with no dependencies
+beyond ``asyncio``.  Routes:
 
 ===================================  =====================================
-``GET /healthz``                     liveness probe
+``GET /healthz``                     liveness probe (+ rolling SLO window)
 ``GET /snapshot``                    snapshot identity (manifest digest)
+``GET /metrics``                     Prometheus text exposition
+``GET /status``                      uptime, per-route tables, SLO window
 ``GET /asn/<n>/lives``               both lifetime datasets of one ASN
 ``GET /asn/<n>/taxonomy``            §5 categories of one ASN
 ``GET /asn/<n>/as-of/<YYYY-MM-DD>``  the ASN's state on one day
@@ -16,8 +18,19 @@ dependencies beyond ``asyncio``.  Routes:
 
 Range routes accept ``?limit=N`` (capped at
 :data:`~repro.serve.index.DEFAULT_RANGE_LIMIT`).  Unknown ASNs are 404,
-malformed paths 400, every error body is JSON.  Request counts and
-latency land in the metrics registry (``serve.http.*``).
+malformed paths 400, every error body is JSON.  An unexpected handler
+exception is a 500 JSON body (never a torn connection) and lands in
+``serve.http.exceptions``.
+
+Telemetry goes through :class:`~repro.serve.telemetry.ServerTelemetry`:
+per-route+status labeled counters and latency histograms (labels use
+route *templates* like ``/asn/{n}/lives`` so cardinality is bounded by
+this route table, not by client traffic), the sliding SLO window, and
+the optional structured access log.  Request heads we refuse to parse
+(oversized line, malformed head, header flood) are counted under
+``serve.http.dropped`` and — where the byte stream still permits a
+response — answered with a ``400`` + ``Connection: close`` instead of
+a silent hangup.
 """
 
 from __future__ import annotations
@@ -31,8 +44,14 @@ from urllib.parse import parse_qs, unquote, urlsplit
 from ..runtime.observability import MetricsRegistry, resolve_metrics
 from ..timeline.dates import from_iso
 from .index import DEFAULT_RANGE_LIMIT, StoreIndex
+from .telemetry import ServerTelemetry
 
-__all__ = ["LifetimesServer", "MAX_REQUEST_LINE", "MAX_HEADER_LINES"]
+__all__ = [
+    "LifetimesServer",
+    "MAX_REQUEST_LINE",
+    "MAX_HEADER_LINES",
+    "route_template",
+]
 
 #: Request-line / header hard limits (a query API needs no more).
 MAX_REQUEST_LINE = 4096
@@ -40,9 +59,26 @@ MAX_HEADER_LINES = 64
 
 _SERVER_NAME = "repro-serve"
 
+_JSON = "application/json"
+_PROM_TEXT = "text/plain; version=0.0.4; charset=utf-8"
+
 
 class _BadRequest(Exception):
     """Raised by route parsing; rendered as a 400 JSON body."""
+
+
+class _DroppedRequest(Exception):
+    """A request head we refuse to parse.
+
+    ``reason`` feeds ``serve.http.dropped``; ``respond`` says whether
+    the byte stream is still in a state where a 400 can be written
+    (always followed by ``Connection: close`` — framing is suspect).
+    """
+
+    def __init__(self, reason: str, respond: bool) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.respond = respond
 
 
 def _parse_int(text: str, what: str) -> int:
@@ -73,6 +109,51 @@ def _parse_range(text: str) -> Tuple[int, int]:
     return lo_n, hi_n
 
 
+def route_template(path: str) -> str:
+    """The bounded-cardinality route label for a request path.
+
+    Every path maps into a fixed, finite set of templates — well-formed
+    routes get their shape (``/asn/{n}/lives``), near-misses collapse
+    to a prefix bucket (``/asn/*``), everything else to ``unmatched``.
+    Metric labels therefore never echo client-controlled strings.
+    """
+    if path in ("/healthz", "/snapshot", "/metrics", "/status"):
+        return path
+    segments = [s for s in path.split("/") if s]
+    if segments and segments[0] == "asn":
+        if len(segments) == 3 and segments[2] == "lives":
+            return "/asn/{n}/lives"
+        if len(segments) == 3 and segments[2] == "taxonomy":
+            return "/asn/{n}/taxonomy"
+        if len(segments) == 4 and segments[2] == "as-of":
+            return "/asn/{n}/as-of/{date}"
+        return "/asn/*"
+    if segments and segments[0] == "range":
+        if len(segments) == 2:
+            return "/range/{lo}-{hi}"
+        if len(segments) == 4 and segments[2] == "as-of":
+            return "/range/{lo}-{hi}/as-of/{date}"
+        return "/range/*"
+    return "unmatched"
+
+
+def _asn_of(path: str) -> Optional[int]:
+    """The ASN a path addresses, when it addresses one (for access logs)."""
+    segments = [s for s in path.split("/") if s]
+    if len(segments) >= 2 and segments[0] == "asn":
+        try:
+            return int(segments[1])
+        except ValueError:
+            return None
+    return None
+
+
+def _json_body(document: Dict[str, Any]) -> bytes:
+    return (
+        json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
 class LifetimesServer:
     """Serve one immutable :class:`StoreIndex` snapshot over HTTP."""
 
@@ -83,11 +164,19 @@ class LifetimesServer:
         host: str = "127.0.0.1",
         port: int = 0,
         metrics: Optional[MetricsRegistry] = None,
+        telemetry: Optional[ServerTelemetry] = None,
     ) -> None:
         self.index = index
         self.host = host
         self.port = port
-        self.metrics = resolve_metrics(metrics)
+        if telemetry is not None:
+            # an injected telemetry brings its own registry; keep the
+            # server's metrics handle pointing at the same place
+            self.telemetry = telemetry
+            self.metrics = telemetry.metrics
+        else:
+            self.metrics = resolve_metrics(metrics)
+            self.telemetry = ServerTelemetry(metrics=self.metrics)
         self._server: Optional[asyncio.AbstractServer] = None
 
     # -- lifecycle -----------------------------------------------------
@@ -113,6 +202,8 @@ class LifetimesServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.telemetry.access_log is not None:
+            self.telemetry.access_log.close()
 
     # -- connection handling -------------------------------------------
 
@@ -129,24 +220,42 @@ class LifetimesServer:
     ) -> None:
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except _DroppedRequest as drop:
+                    self.telemetry.record_dropped(drop.reason)
+                    if drop.respond:
+                        body = _json_body({"error": drop.reason})
+                        writer.write(
+                            self._head(400, len(body), False, _JSON) + body
+                        )
+                        await writer.drain()
+                    break
                 if request is None:
                     break
+                t_request = perf_counter()
                 method, target, keep_alive = request
-                t0 = perf_counter()
-                status, document = self._respond(method, target)
-                self.metrics.observe(
-                    "serve.http.latency_us", (perf_counter() - t0) * 1e6
+                path = urlsplit(target).path
+                t_handler = perf_counter()
+                status, body, content_type, route = self._dispatch(
+                    method, target, path
                 )
-                self.metrics.inc("serve.http.requests")
-                if status >= 400:
-                    self.metrics.inc("serve.http.errors")
-                body = (
-                    json.dumps(document, sort_keys=True, separators=(",", ":"))
-                    + "\n"
-                ).encode("utf-8")
-                writer.write(self._head(status, len(body), keep_alive) + body)
+                handler_us = (perf_counter() - t_handler) * 1e6
+                writer.write(
+                    self._head(status, len(body), keep_alive, content_type)
+                    + body
+                )
                 await writer.drain()
+                self.telemetry.record_request(
+                    method=method,
+                    route=route,
+                    path=path,
+                    status=status,
+                    request_us=(perf_counter() - t_request) * 1e6,
+                    handler_us=handler_us,
+                    bytes_out=len(body),
+                    asn=_asn_of(path),
+                )
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -161,44 +270,61 @@ class LifetimesServer:
     async def _read_request(
         self, reader: asyncio.StreamReader
     ) -> Optional[Tuple[str, str, bool]]:
-        """One request head → (method, target, keep_alive), EOF → None."""
+        """One request head → (method, target, keep_alive), EOF → None.
+
+        Unparseable heads raise :class:`_DroppedRequest` so the caller
+        can count them and, when ``respond`` is set, still answer 400.
+        """
         try:
             line = await reader.readline()
-        except (ValueError, ConnectionError):
+        except ValueError:
+            # The stream-level line limit tripped: the line is larger
+            # than the reader buffer, framing is gone.  The writer side
+            # is still usable, so a closing 400 can go out.
+            raise _DroppedRequest("oversized-line", True) from None
+        except ConnectionError:
             return None
         if not line:
             return None
         if len(line) > MAX_REQUEST_LINE:
-            return None
+            raise _DroppedRequest("oversized-line", True)
         parts = line.decode("latin-1").strip().split()
         if len(parts) != 3:
-            return None
+            raise _DroppedRequest("malformed-head", True)
         method, target, version = parts
         keep_alive = version.upper() != "HTTP/1.0"
         for _ in range(MAX_HEADER_LINES):
-            header = await reader.readline()
+            try:
+                header = await reader.readline()
+            except ValueError:
+                raise _DroppedRequest("oversized-line", True) from None
+            except ConnectionError:
+                return None
             if header in (b"\r\n", b"\n", b""):
                 break
             name, _sep, value = header.decode("latin-1").partition(":")
             if name.strip().lower() == "connection":
                 keep_alive = value.strip().lower() != "close"
         else:
-            return None  # header flood: drop the connection
+            raise _DroppedRequest("header-flood", True)
         return method, target, keep_alive
 
     @staticmethod
-    def _head(status: int, length: int, keep_alive: bool) -> bytes:
+    def _head(
+        status: int, length: int, keep_alive: bool, content_type: str = _JSON
+    ) -> bytes:
         reason = {
             200: "OK",
             400: "Bad Request",
             404: "Not Found",
             405: "Method Not Allowed",
+            500: "Internal Server Error",
         }.get(status, "Error")
         connection = "keep-alive" if keep_alive else "close"
         return (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Server: {_SERVER_NAME}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {length}\r\n"
             f"Connection: {connection}\r\n"
             f"\r\n"
@@ -206,15 +332,48 @@ class LifetimesServer:
 
     # -- routing -------------------------------------------------------
 
-    def _respond(self, method: str, target: str) -> Tuple[int, Dict[str, Any]]:
+    def _dispatch(
+        self, method: str, target: str, path: str
+    ) -> Tuple[int, bytes, str, str]:
+        """One request → (status, body, content type, route template).
+
+        Everything a handler can throw is caught here: expected parse
+        failures as 400, anything else as a 500 JSON body counted in
+        ``serve.http.exceptions`` — a broken shard or poisoned index
+        must never tear down the connection without an answer.
+        """
+        route = route_template(path)
         if method != "GET":
-            return 405, {"error": "only GET is supported"}
-        url = urlsplit(target)
-        query = parse_qs(url.query)
+            return (
+                405,
+                _json_body({"error": "only GET is supported"}),
+                _JSON,
+                route,
+            )
         try:
-            return self._route(url.path, query)
+            if path == "/metrics":
+                return (
+                    200,
+                    self.telemetry.metrics_text().encode("utf-8"),
+                    _PROM_TEXT,
+                    route,
+                )
+            if path == "/status":
+                document = self.telemetry.status_document(self.index.digest)
+                return 200, _json_body(document), _JSON, route
+            query = parse_qs(urlsplit(target).query)
+            status, document = self._route(path, query)
         except _BadRequest as exc:
-            return 400, {"error": str(exc)}
+            return 400, _json_body({"error": str(exc)}), _JSON, route
+        except Exception as exc:  # noqa: BLE001 - catch-all is the contract
+            self.telemetry.record_exception(route, exc)
+            return (
+                500,
+                _json_body({"error": "internal server error"}),
+                _JSON,
+                route,
+            )
+        return status, _json_body(document), _JSON, route
 
     def _route(
         self, path: str, query: Dict[str, list]
@@ -224,7 +383,11 @@ class LifetimesServer:
             limit = _parse_int(query["limit"][-1], "limit")
         segments = [s for s in path.split("/") if s]
         if path == "/healthz":
-            return 200, {"status": "ok", "snapshot": self.index.digest}
+            return 200, {
+                "status": "ok",
+                "snapshot": self.index.digest,
+                "slo": self.telemetry.slo.summary(),
+            }
         if path == "/snapshot":
             return 200, self.index.snapshot()
         if len(segments) >= 2 and segments[0] == "asn":

@@ -10,6 +10,12 @@ perf gate pins.
 The plan is a pure function of ``(asns, meta, count, seed, skew)``:
 no wall clock, no global RNG — two runs against byte-identical stores
 issue byte-identical request streams.
+
+:func:`run_load_checked` turns a load run into an end-to-end telemetry
+consistency test: it scrapes ``/metrics`` before and after the run,
+parses both expositions, and cross-checks the server's account of the
+run (per-route request counters, bucketed latency quantiles) against
+what the client itself observed.
 """
 
 from __future__ import annotations
@@ -18,13 +24,22 @@ import asyncio
 import random
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..asn.numbers import ASN
+from ..runtime.observability import OVERFLOW_BUCKET, bucket_index, quantile_from_buckets
 from ..timeline.dates import to_iso
 from .store import ServeStoreError, StoreMeta
+from .telemetry import le_label, parse_exposition
 
-__all__ = ["QueryPlan", "LoadReport", "plan_queries", "run_load", "run_load_sync"]
+__all__ = [
+    "QueryPlan",
+    "LoadReport",
+    "plan_queries",
+    "run_load",
+    "run_load_checked",
+    "run_load_sync",
+]
 
 #: Default query mix: the point lookup dominates (it is what a
 #: lifetimes service exists for), with taxonomy, as-of and range
@@ -67,6 +82,7 @@ class LoadReport:
     p50_us: float
     p99_us: float
     concurrency: int
+    min_us: float = 0.0
 
     def to_json_dict(self) -> Dict[str, Any]:
         return {
@@ -76,6 +92,7 @@ class LoadReport:
             "qps": round(self.qps, 2),
             "p50_us": round(self.p50_us, 1),
             "p99_us": round(self.p99_us, 1),
+            "min_us": round(self.min_us, 1),
             "concurrency": self.concurrency,
         }
 
@@ -205,7 +222,178 @@ async def run_load(
         p50_us=_percentile(latencies, 0.50),
         p99_us=_percentile(latencies, 0.99),
         concurrency=concurrency,
+        min_us=latencies[0] if latencies else 0.0,
     )
+
+
+async def _fetch(host: str, port: int, path: str) -> Tuple[int, bytes]:
+    """One ``Connection: close`` GET → (status, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+            "Connection: close\r\n\r\n".encode("latin-1")
+        )
+        await writer.drain()
+        status_line = await reader.readline()
+        parts = status_line.split()
+        status = int(parts[1]) if len(parts) >= 2 else 0
+        length: Optional[int] = None
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = header.partition(b":")
+            if name.strip().lower() == b"content-length":
+                length = int(value.strip())
+        body = (
+            await reader.readexactly(length)
+            if length is not None
+            else await reader.read()
+        )
+        return status, body
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+def _data_route(labels: Dict[str, str]) -> bool:
+    """Is this sample from a data route the plan can have exercised?
+
+    The scrapes themselves land under ``/metrics``; restricting the
+    cross-check to ``/asn/*`` / ``/range/*`` routes keeps the counter
+    equality exact even though observing the server perturbs it.
+    """
+    route = labels.get("route", "")
+    return route.startswith("/asn") or route.startswith("/range")
+
+
+_REQUESTS_TOTAL = "repro_serve_http_requests_total"
+_REQUEST_US_BUCKET = "repro_serve_http_request_us_bucket"
+
+_LE_TO_INDEX = {le_label(i): i for i in range(OVERFLOW_BUCKET + 1)}
+
+
+def _data_requests(samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]) -> int:
+    """Total data-route requests a parsed exposition reports."""
+    total = 0
+    for (name, label_items), value in samples.items():
+        if name == _REQUESTS_TOTAL and _data_route(dict(label_items)):
+            total += int(value)
+    return total
+
+
+def _data_buckets(
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float],
+) -> List[int]:
+    """Data-route ``request_us`` histograms folded to per-bucket counts."""
+    cumulative = [0] * (OVERFLOW_BUCKET + 1)
+    for (name, label_items), value in samples.items():
+        if name != _REQUEST_US_BUCKET:
+            continue
+        labels = dict(label_items)
+        if not _data_route(labels):
+            continue
+        index = _LE_TO_INDEX.get(labels.get("le", ""))
+        if index is None:  # pragma: no cover - foreign bucket grid
+            raise ValueError(f"unknown le bucket {labels.get('le')!r}")
+        cumulative[index] += int(value)
+    buckets = [0] * (OVERFLOW_BUCKET + 1)
+    previous = 0
+    for i, cum in enumerate(cumulative):
+        buckets[i] = cum - previous
+        previous = cum
+    return buckets
+
+
+async def run_load_checked(
+    host: str,
+    port: int,
+    plan: QueryPlan,
+    *,
+    concurrency: int = DEFAULT_CONCURRENCY,
+    scrape_retries: int = 20,
+    scrape_delay: float = 0.05,
+) -> Tuple[LoadReport, Dict[str, Any]]:
+    """:func:`run_load` bracketed by ``/metrics`` scrapes.
+
+    Returns ``(report, consistency)`` where ``consistency`` records the
+    server's account of the run against the client's:
+
+    * ``requests_match`` — the delta of the server's data-route request
+      counters exactly equals the number of queries sent.
+    * ``quantiles_agree`` — server-side p50/p99 (derived from the
+      ``request_us`` bucket deltas) land within one bucket of the
+      client's nearest-rank percentiles.  The two planes observe the
+      same requests through different windows: client latency is the
+      server's request window plus a near-constant transport floor
+      (one loopback round trip + two event-loop wakeups), so the
+      checker first estimates that floor as ``min(client) −
+      min(server)`` over the run and aligns the client's percentiles
+      onto the server's plane before bucketizing.  Meaningful at low
+      concurrency only: with many in-flight requests the client's
+      numbers include event-loop queueing the server never sees, so
+      callers asserting agreement should drive ``concurrency=1``.
+
+    The final scrape is retried briefly: a worker's last response can
+    be read by the client a scheduling slot before the server coroutine
+    records it, so the counters are eventually — not instantaneously —
+    consistent.
+    """
+    _status, before_body = await _fetch(host, port, "/metrics")
+    before = parse_exposition(before_body.decode("utf-8"))
+    report = await run_load(host, port, plan, concurrency=concurrency)
+
+    sent = len(plan.paths)
+    base_requests = _data_requests(before)
+    retries = 0
+    while True:
+        _status, after_body = await _fetch(host, port, "/metrics")
+        after = parse_exposition(after_body.decode("utf-8"))
+        server_requests = _data_requests(after) - base_requests
+        if server_requests >= sent or retries >= scrape_retries:
+            break
+        retries += 1
+        await asyncio.sleep(scrape_delay)
+
+    before_buckets = _data_buckets(before)
+    after_buckets = _data_buckets(after)
+    deltas = [a - b for a, b in zip(after_buckets, before_buckets)]
+    count = sum(deltas)
+    server_q: Dict[str, float] = {}
+    offsets: Dict[str, Optional[int]] = {"p50": None, "p99": None}
+    floor_us = 0.0
+    if count > 0:
+        # q=0 lands in the lowest non-empty bucket: the server's
+        # fastest request, as reconstructible from the exposition.
+        server_min = quantile_from_buckets(deltas, 0.0, count=count)
+        floor_us = max(0.0, report.min_us - server_min)
+        for label, q, client_value in (
+            ("p50", 0.50, report.p50_us),
+            ("p99", 0.99, report.p99_us),
+        ):
+            value = quantile_from_buckets(deltas, q, count=count)
+            server_q[f"{label}_us"] = round(value, 1)
+            aligned = max(client_value - floor_us, server_min)
+            offsets[label] = abs(bucket_index(value) - bucket_index(aligned))
+    quantiles_agree = all(
+        offset is not None and offset <= 1 for offset in offsets.values()
+    )
+    consistency: Dict[str, Any] = {
+        "sent": sent,
+        "server_requests": server_requests,
+        "requests_match": server_requests == sent,
+        "client": {"p50_us": round(report.p50_us, 1), "p99_us": round(report.p99_us, 1)},
+        "server": server_q,
+        "floor_us": round(floor_us, 1),
+        "bucket_offsets": offsets,
+        "quantiles_agree": quantiles_agree,
+        "scrape_retries": retries,
+    }
+    return report, consistency
 
 
 def run_load_sync(

@@ -129,12 +129,25 @@ class TestCommands:
 
         rc = main(["serve-bench", "--store", str(full),
                    "--queries", "300", "--concurrency", "4",
+                   "--metrics-check",
+                   "--access-log", str(tmp_path / "access.jsonl"),
                    "--json-out", str(tmp_path / "bench.json")])
         assert rc == 0
         out = capsys.readouterr().out
         assert "300 queries" in out
+        assert "metrics check: server saw 300 of 300 queries" in out
         report = json.loads((tmp_path / "bench.json").read_text())
         assert report["queries"] == 300 and report["errors"] == 0
+        assert report["consistency"]["requests_match"] is True
+        assert report["consistency"]["server"]["p99_us"] > 0
+
+        rc = main(["inspect", "serve-log", str(tmp_path / "access.jsonl"),
+                   "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Access log: 30" in out  # 300 queries + the two scrapes
+        assert "/asn/{n}/lives" in out
+        assert "top 3 ASNs" in out
 
     def test_serve_bench_enforces_p99_bound(self, tmp_path, capsys):
         store = tmp_path / "store"

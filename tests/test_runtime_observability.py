@@ -14,6 +14,8 @@ import json
 import threading
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.runtime import (
     RUN_MANIFEST_FORMAT,
@@ -168,8 +170,13 @@ class TestMetricsRegistry:
         snap = metrics.snapshot()
         assert snap["counters"]["hits"] == 3
         assert snap["gauges"]["workers"] == 4
+        from repro.runtime.observability import bucket_index
+
         assert snap["histograms"]["wall"] == {
             "count": 2, "sum": 4.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+            "buckets": {
+                str(bucket_index(1.0)): 1, str(bucket_index(3.0)): 1,
+            },
         }
 
     def test_merge_snapshot_adds(self):
@@ -199,6 +206,62 @@ class TestMetricsRegistry:
             pass
         hist = metrics.snapshot()["histograms"]["stage.simulate.seconds"]
         assert hist["count"] == 1
+
+
+class TestBucketedHistograms:
+    """The log-scaled bucket upgrade: additivity and the error bound."""
+
+    # 1/64-granular values are binary fractions, so float sums are
+    # exact and order-independent — "identical" below means ==, not
+    # approximately equal.
+    _values = st.lists(
+        st.integers(min_value=1, max_value=2 ** 20).map(lambda k: k / 64),
+        min_size=1,
+        max_size=40,
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_values, min_size=1, max_size=5))
+    def test_merging_worker_snapshots_matches_one_registry(self, worker_values):
+        merged = MetricsRegistry()
+        for values in worker_values:
+            worker = MetricsRegistry()
+            for value in values:
+                worker.observe("wall", value)
+            merged.merge_snapshot(worker.snapshot())
+        single = MetricsRegistry()
+        for value in (v for values in worker_values for v in values):
+            single.observe("wall", value)
+        summary = merged.snapshot()["histograms"]["wall"]
+        expected = single.snapshot()["histograms"]["wall"]
+        assert summary == expected  # buckets, count, sum, min, max, mean
+        from repro.runtime.observability import quantile_from_buckets
+
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert quantile_from_buckets(
+                summary["buckets"], q, count=summary["count"],
+                minimum=summary["min"], maximum=summary["max"],
+            ) == quantile_from_buckets(
+                expected["buckets"], q, count=expected["count"],
+                minimum=expected["min"], maximum=expected["max"],
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(_values, st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_estimate_lands_in_the_exact_values_bucket(
+        self, values, q
+    ):
+        from repro.runtime.observability import Histogram, bucket_index
+
+        hist = Histogram()
+        for value in values:
+            hist.observe(value)
+        exact = sorted(values)[
+            max(0, min(len(values) - 1, round(q * (len(values) - 1))))
+        ]
+        # one-bucket-width error bound: the estimate shares the exact
+        # nearest-rank value's bucket (clamping to min/max stays inside)
+        assert bucket_index(hist.quantile(q)) == bucket_index(exact)
 
 
 class TestAmbientFaultMetrics:

@@ -286,6 +286,230 @@ class TestHttpServer:
         status, doc = _get(*served, "/healthz", version="HTTP/1.0")
         assert (status, doc["status"]) == (200, "ok")
 
+    def test_healthz_carries_slo_window(self, served):
+        status, doc = _get(*served, "/healthz")
+        assert status == 200
+        assert doc["slo"]["window_seconds"] == 60.0
+        assert "error_rate" in doc["slo"]
+
+
+def _serve_raw(index, interact, *, telemetry=None):
+    """Run ``interact(host, port)`` against a fresh private server."""
+
+    async def go():
+        from repro.runtime.observability import MetricsRegistry
+        from repro.serve.telemetry import ServerTelemetry
+
+        server = LifetimesServer(
+            index,
+            telemetry=telemetry or ServerTelemetry(metrics=MetricsRegistry()),
+        )
+        host, port = await server.start()
+        try:
+            return await interact(server, host, port), server
+        finally:
+            await server.close()
+
+    return asyncio.run(go())
+
+
+async def _raw_exchange(host, port, payload):
+    """Write raw bytes, read everything until the server closes."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return raw
+
+
+async def _aget(host, port, path):
+    """One keep-alive GET on a fresh connection → (status, body bytes)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(f"GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n".encode())
+    await writer.drain()
+    status = int((await reader.readline()).split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b""):
+            break
+        name, _sep, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length)
+    writer.close()
+    return status, body
+
+
+class TestTelemetryRoutes:
+    def test_metrics_exposition_parses_and_counts_routes(self, index):
+        from repro.serve.telemetry import parse_exposition
+
+        asn = index.all_asns()[0]
+
+        async def interact(server, host, port):
+            await _aget(host, port, f"/asn/{asn}/lives")
+            await _aget(host, port, f"/asn/{asn}/lives")
+            await _aget(host, port, "/range/0-9999999?limit=3")
+            return await _aget(host, port, "/metrics")
+
+        (status, body), _server = _serve_raw(index, interact)
+        assert status == 200
+        samples = parse_exposition(body.decode("utf-8"))
+        assert samples[(
+            "repro_serve_http_requests_total",
+            (("route", "/asn/{n}/lives"), ("status", "200")),
+        )] == 2
+        assert samples[(
+            "repro_serve_http_requests_total",
+            (("route", "/range/{lo}-{hi}"), ("status", "200")),
+        )] == 1
+        assert samples[(
+            "repro_serve_http_request_us_count", (("route", "/asn/{n}/lives"),),
+        )] == 2
+
+    def test_status_document_over_http(self, index):
+        asn = index.all_asns()[0]
+
+        async def interact(server, host, port):
+            await _aget(host, port, f"/asn/{asn}/taxonomy")
+            return await _aget(host, port, "/status")
+
+        (status, body), _server = _serve_raw(index, interact)
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["snapshot"] == index.digest
+        assert doc["uptime_seconds"] >= 0.0
+        row = doc["routes"]["/asn/{n}/taxonomy"]
+        assert row["requests"] == 1 and row["errors"] == 0
+        assert "p99_us" in row
+        assert doc["slo"]["requests"] >= 1
+
+    def test_route_template_bounds_cardinality(self):
+        from repro.serve.http import route_template
+
+        cases = {
+            "/healthz": "/healthz",
+            "/metrics": "/metrics",
+            "/asn/5/lives": "/asn/{n}/lives",
+            "/asn/xyz/lives": "/asn/{n}/lives",
+            "/asn/5/taxonomy": "/asn/{n}/taxonomy",
+            "/asn/5/as-of/2021-01-01": "/asn/{n}/as-of/{date}",
+            "/asn/5/unknown": "/asn/*",
+            "/range/1-2": "/range/{lo}-{hi}",
+            "/range/1-2/as-of/2021-01-01": "/range/{lo}-{hi}/as-of/{date}",
+            "/range/1-2/bogus": "/range/*",
+            "/utterly/unknown": "unmatched",
+        }
+        for path, expected in cases.items():
+            assert route_template(path) == expected, path
+
+
+class TestRequestHardening:
+    def _dropped(self, server):
+        counters = server.metrics.snapshot()["counters"]
+        return {
+            name.split("reason=")[1]: value
+            for name, value in counters.items()
+            if name.startswith("serve.http.dropped|")
+        }
+
+    def test_malformed_head_answers_400_and_counts(self, index):
+        async def interact(server, host, port):
+            return await _raw_exchange(host, port, b"NOT-AN-HTTP-HEAD\r\n\r\n")
+
+        raw, server = _serve_raw(index, interact)
+        assert b"400 Bad Request" in raw
+        assert b"Connection: close" in raw
+        assert b"malformed-head" in raw
+        assert self._dropped(server) == {"malformed-head": 1}
+
+    def test_oversized_request_line_answers_400(self, index):
+        async def interact(server, host, port):
+            head = b"GET /" + b"a" * 8000 + b" HTTP/1.1\r\n\r\n"
+            return await _raw_exchange(host, port, head)
+
+        raw, server = _serve_raw(index, interact)
+        assert b"400 Bad Request" in raw
+        assert self._dropped(server) == {"oversized-line": 1}
+
+    def test_header_flood_answers_400(self, index):
+        async def interact(server, host, port):
+            payload = b"GET /healthz HTTP/1.1\r\n"
+            payload += b"X-Flood: y\r\n" * 200 + b"\r\n"
+            return await _raw_exchange(host, port, payload)
+
+        raw, server = _serve_raw(index, interact)
+        assert b"400 Bad Request" in raw
+        assert self._dropped(server) == {"header-flood": 1}
+
+    def test_dropped_requests_never_count_as_served(self, index):
+        async def interact(server, host, port):
+            await _raw_exchange(host, port, b"junk\r\n\r\n")
+            return None
+
+        _none, server = _serve_raw(index, interact)
+        counters = server.metrics.snapshot()["counters"]
+        assert counters.get("serve.http.requests", 0) == 0
+        assert counters["serve.http.dropped"] == 1
+
+
+class _PoisonedIndex:
+    """Delegates to a real index, but point lookups hit rotted shards."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def lives(self, asn):
+        raise RuntimeError("shard rot")
+
+
+class TestInternalErrors:
+    def test_poisoned_index_is_a_500_json_body(self, index):
+        poisoned = _PoisonedIndex(index)
+        asn = index.all_asns()[0]
+
+        async def interact(server, host, port):
+            # the connection survives the 500: a second request answers
+            reader, writer = await asyncio.open_connection(host, port)
+            results = []
+            for path in (f"/asn/{asn}/lives", f"/asn/{asn}/taxonomy"):
+                writer.write(f"GET {path} HTTP/1.1\r\n\r\n".encode())
+                await writer.drain()
+                status = int((await reader.readline()).split()[1])
+                length = 0
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b""):
+                        break
+                    name, _sep, value = line.partition(b":")
+                    if name.strip().lower() == b"content-length":
+                        length = int(value.strip())
+                results.append((status, await reader.readexactly(length)))
+            writer.close()
+            return results
+
+        results, server = _serve_raw(poisoned, interact)
+        assert results[0][0] == 500
+        assert json.loads(results[0][1]) == {"error": "internal server error"}
+        assert results[1][0] == 200  # keep-alive survived the failure
+        counters = server.metrics.snapshot()["counters"]
+        assert counters["serve.http.errors"] == 1
+        assert counters["serve.http.exceptions"] == 1
+        from repro.serve.telemetry import labeled
+
+        assert counters[labeled(
+            "serve.http.exceptions", route="/asn/{n}/lives", type="RuntimeError",
+        )] == 1
+
 
 class TestLoadGen:
     def test_plan_is_deterministic(self, index):
@@ -318,6 +542,34 @@ class TestLoadGen:
     def test_plan_rejects_empty_universe(self, index):
         with pytest.raises(ServeStoreError):
             plan_queries([], index.meta, 10)
+
+    def test_run_load_checked_counters_match_exactly(self, index):
+        from repro.serve.loadgen import run_load_checked
+
+        plan = plan_queries(index.all_asns(), index.meta, 400, seed=5)
+
+        async def go():
+            from repro.runtime.observability import MetricsRegistry
+            from repro.serve.telemetry import ServerTelemetry
+
+            server = LifetimesServer(
+                index, telemetry=ServerTelemetry(metrics=MetricsRegistry())
+            )
+            host, port = await server.start()
+            try:
+                return await run_load_checked(host, port, plan, concurrency=2)
+            finally:
+                await server.close()
+
+        report, consistency = asyncio.run(go())
+        assert report.queries == 400
+        assert consistency["sent"] == 400
+        assert consistency["server_requests"] == 400
+        assert consistency["requests_match"] is True
+        # server-side estimates exist and carry the run's latency scale
+        assert consistency["server"]["p50_us"] > 0
+        assert consistency["server"]["p99_us"] >= consistency["server"]["p50_us"]
+        assert consistency["bucket_offsets"]["p99"] is not None
 
     def test_load_run_reports_clean_numbers(self, index):
         async def go():
